@@ -1,0 +1,103 @@
+"""E14 — detection-timing ablation: on-block vs periodic sweeps.
+
+Paper context: the system of §3 maintains the concurrency graph
+continuously, so deadlocks are detected the instant the closing wait
+occurs — at the cost of a detection check on every conflict.  Sweep-based
+systems check on a timer instead.  This ablation quantifies the paper's
+implicit design choice: immediate detection minimises the time deadlocked
+transactions sit blocked (and the locks they pin), at higher per-conflict
+work.
+
+Measured: resolved deadlocks, blocked-steps accumulated by deadlock
+members before detection, makespan, and lost states, across sweep
+intervals vs the on-block baseline.
+"""
+
+from conftest import report
+
+from repro import Scheduler
+from repro.core.periodic import PeriodicDetectionScheduler
+from repro.simulation import (
+    RandomInterleaving,
+    SimulationEngine,
+    WorkloadConfig,
+    expected_final_state,
+    generate_workload,
+)
+
+SEEDS = (0, 1, 2, 3)
+
+
+def run_mode(label, make_scheduler):
+    totals = {"mode": label, "deadlocks": 0, "states_lost": 0,
+              "blocked_at_detect": 0, "steps": 0}
+    for seed in SEEDS:
+        config = WorkloadConfig(
+            n_transactions=10, n_entities=8, locks_per_txn=(2, 5),
+            write_ratio=0.9, skew="hotspot",
+        )
+        db, programs = generate_workload(config, seed=seed)
+        expected = expected_final_state(db, programs)
+        scheduler = make_scheduler(db)
+        engine = SimulationEngine(
+            scheduler, RandomInterleaving(seed + 5), max_steps=400_000,
+        )
+        for program in programs:
+            engine.add(program)
+        result = engine.run()
+        assert result.final_state == expected
+        totals["deadlocks"] += result.metrics.deadlocks
+        totals["states_lost"] += result.metrics.states_lost
+        totals["blocked_at_detect"] += getattr(
+            scheduler, "blocked_step_total", 0
+        )
+        totals["steps"] += result.steps
+    return totals
+
+
+def sweep_experiment():
+    rows = [
+        run_mode(
+            "on-block (paper)",
+            lambda db: Scheduler(db, strategy="mcs",
+                                 policy="ordered-min-cost"),
+        )
+    ]
+    for interval in (5, 50, 200):
+        rows.append(
+            run_mode(
+                f"sweep every {interval}",
+                lambda db, i=interval: PeriodicDetectionScheduler(
+                    db, strategy="mcs", policy="ordered-min-cost",
+                    interval=i,
+                ),
+            )
+        )
+    return rows
+
+
+def test_detection_timing(benchmark):
+    rows = benchmark.pedantic(sweep_experiment, rounds=1, iterations=1)
+    by = {row["mode"]: row for row in rows}
+    # Shape 1: every mode resolves its deadlocks and finishes the workload
+    # (asserted inside run_mode via final-state checks).
+    # Shape 2: detection latency — blocked time before detection grows
+    # monotonically with the sweep interval; the paper's on-block scheme
+    # has none by construction.
+    assert by["on-block (paper)"]["blocked_at_detect"] == 0
+    assert (
+        by["sweep every 5"]["blocked_at_detect"]
+        < by["sweep every 50"]["blocked_at_detect"]
+        < by["sweep every 200"]["blocked_at_detect"]
+    )
+    report(
+        "E14 — detection timing: on-block vs periodic sweeps (4 seeds)",
+        rows,
+        paper_note=(
+            "the paper detects at the wait response; sweeping trades "
+            "blocked time (and pinned locks) for fewer checks"
+        ),
+    )
+    benchmark.extra_info.update({
+        row["mode"]: row["blocked_at_detect"] for row in rows
+    })

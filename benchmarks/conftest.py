@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's artefacts (figure scenario or
+qualitative claim), prints the paper-stated expectation next to the
+measured result, and asserts the *shape* (who wins, by roughly what
+factor) rather than absolute numbers.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def report(title: str, rows: list[dict], paper_note: str = "") -> None:
+    """Print a small aligned table to stdout (visible with -s and in
+    benchmark output sections)."""
+    out = sys.stdout
+    out.write(f"\n=== {title} ===\n")
+    if paper_note:
+        out.write(f"paper: {paper_note}\n")
+    if not rows:
+        return
+    keys = list(rows[0].keys())
+    widths = {
+        k: max(len(str(k)), *(len(str(r.get(k, ""))) for r in rows))
+        for k in keys
+    }
+    header = "  ".join(str(k).ljust(widths[k]) for k in keys)
+    out.write(header + "\n")
+    out.write("-" * len(header) + "\n")
+    for row in rows:
+        out.write(
+            "  ".join(str(row.get(k, "")).ljust(widths[k]) for k in keys)
+            + "\n"
+        )

@@ -1,0 +1,106 @@
+"""Banking workload: compare rollback strategies under real contention.
+
+Run:  python examples/banking.py
+
+A fleet of transfer transactions moves money among a small set of hot
+accounts, with an auditor taking shared locks.  Every strategy must keep
+the bank's total balance invariant; they differ in how much transaction
+progress deadlock resolution destroys:
+
+* ``total``       — classical removal-and-restart (the baseline of the
+                    paper's §1);
+* ``mcs``         — partial rollback to the exact lock state needed;
+* ``single-copy`` — partial rollback to the nearest well-defined state
+                    (same storage bill as total restart).
+"""
+
+import random
+
+from repro import Database, Scheduler, TransactionProgram, ops
+from repro.simulation import RandomInterleaving, SimulationEngine
+
+ACCOUNTS = [f"acct{i}" for i in range(6)]
+INITIAL = 1000
+N_TRANSFERS = 14
+SEED = 2024
+
+
+def transfer(txn_id: str, source: str, middle: str, target: str,
+             amount: int) -> TransactionProgram:
+    """Three-account transfer: source pays, middle takes a fee, target
+    receives — three lock states, so partial rollback has room to work."""
+    fee = max(1, amount // 10)
+    return TransactionProgram(txn_id, [
+        ops.lock_exclusive(source),
+        ops.read(source, into="src"),
+        ops.write(source, ops.var("src") - ops.const(amount)),
+        ops.lock_exclusive(middle),
+        ops.write(middle, ops.entity(middle) + ops.const(fee)),
+        ops.lock_exclusive(target),
+        ops.write(target, ops.entity(target) + ops.const(amount - fee)),
+        ops.unlock(source),
+        ops.unlock(middle),
+        ops.unlock(target),
+    ])
+
+
+def audit(txn_id: str, accounts: list[str]) -> TransactionProgram:
+    """Read-only auditor: shared locks, sums balances into a local."""
+    operations = [ops.assign("sum", ops.const(0))]
+    for account in accounts:
+        operations.append(ops.lock_shared(account))
+        operations.append(ops.read(account, into="balance"))
+        operations.append(
+            ops.assign("sum", ops.var("sum") + ops.var("balance"))
+        )
+    return TransactionProgram(txn_id, operations)
+
+
+def build_programs() -> list[TransactionProgram]:
+    rng = random.Random(SEED)
+    programs = []
+    for i in range(N_TRANSFERS):
+        source, middle, target = rng.sample(ACCOUNTS, 3)
+        programs.append(
+            transfer(f"X{i + 1:02d}", source, middle, target,
+                     rng.randint(10, 90))
+        )
+    programs.append(audit("AUD1", ACCOUNTS[:4]))
+    programs.append(audit("AUD2", list(reversed(ACCOUNTS[2:]))))
+    return programs
+
+
+def run(strategy: str) -> dict:
+    db = Database({name: INITIAL for name in ACCOUNTS})
+    db.add_constraint(
+        lambda s: sum(s[name] for name in ACCOUNTS)
+        == INITIAL * len(ACCOUNTS),
+        name="conservation",
+    )
+    scheduler = Scheduler(db, strategy=strategy, policy="ordered-min-cost")
+    engine = SimulationEngine(scheduler, RandomInterleaving(seed=SEED))
+    for program in build_programs():
+        engine.add(program)
+    result = engine.run()
+    assert db.is_consistent(), "conservation violated!"
+    return {"steps": result.steps, **result.metrics.summary()}
+
+
+def main() -> None:
+    columns = ("strategy", "steps", "deadlocks", "rollbacks",
+               "total_rollbacks", "states_lost", "copies_peak")
+    print(f"{'strategy':<12} {'steps':>6} {'deadlk':>6} {'rollbk':>6} "
+          f"{'restarts':>8} {'lost':>6} {'copies':>6}")
+    for strategy in ("total", "mcs", "single-copy"):
+        row = run(strategy)
+        print(f"{strategy:<12} {row['steps']:>6} {row['deadlocks']:>6} "
+              f"{row['rollbacks']:>6} {row['total_rollbacks']:>8} "
+              f"{row['states_lost']:>6} {row['copies_peak']:>6}")
+    print()
+    print("Same workload, same interleaving seed: partial rollback (mcs)")
+    print("loses the least progress; single-copy sits between mcs and")
+    print("total restart while storing no more copies than total does.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""Inventory/order processing with shared and exclusive locks (§3.2).
+
+Run:  python examples/inventory.py
+
+Order transactions exclusive-lock the items they ship plus a ledger;
+reporting transactions shared-lock many items at once.  Exclusive requests
+on shared-held entities create Type-2 conflicts: the waits-for graph stops
+being a forest, and a single wait response can close *several* deadlock
+cycles at once (the paper's Figure 3 situation).  The example shows the
+multi-cycle deadlock in the live system and how one rollback removes every
+cycle.
+"""
+
+from repro import Database, Scheduler, TransactionProgram, ops
+from repro.core.scheduler import StepOutcome
+from repro.simulation import SimulationEngine
+
+ITEMS = ["widget", "gadget", "gizmo"]
+
+
+def order(txn_id: str, item: str, quantity: int) -> TransactionProgram:
+    """Ship *quantity* of *item*: decrement stock, append to the ledger."""
+    return TransactionProgram(txn_id, [
+        ops.lock_exclusive(item),
+        ops.read(item, into="stock"),
+        ops.write(item, ops.var("stock") - ops.const(quantity)),
+        ops.lock_exclusive("ledger"),
+        ops.write("ledger", ops.entity("ledger") + ops.const(quantity)),
+    ])
+
+
+def report(txn_id: str, items: list[str]) -> TransactionProgram:
+    """Read-only stock report over *items* (shared locks)."""
+    operations = [ops.assign("total", ops.const(0))]
+    for item in items:
+        operations.append(ops.lock_shared(item))
+        operations.append(ops.read(item, into="n"))
+        operations.append(ops.assign("total", ops.var("total") + ops.var("n")))
+    return TransactionProgram(txn_id, operations)
+
+
+def main() -> None:
+    db = Database({item: 100 for item in ITEMS} | {"ledger": 0})
+    scheduler = Scheduler(db, strategy="mcs", policy="ordered-min-cost")
+    engine = SimulationEngine(scheduler)
+
+    # Two reporters shared-lock the ledger first, then want items; an
+    # order transaction holds an item and wants the ledger exclusively.
+    r1 = TransactionProgram("R1", [
+        ops.lock_shared("ledger"),
+        ops.read("ledger", into="l"),
+        ops.lock_shared("widget"),
+        ops.read("widget", into="w"),
+    ])
+    r2 = TransactionProgram("R2", [
+        ops.lock_shared("ledger"),
+        ops.read("ledger", into="l"),
+        ops.lock_shared("widget"),
+        ops.read("widget", into="w"),
+    ])
+    o1 = order("O1", "widget", 5)
+    o2 = order("O2", "gadget", 7)
+
+    for program in (r1, r2, o1, o2):
+        engine.add(program)
+
+    # Drive to the multi-cycle deadlock by hand:
+    engine.run_for("R1", 2)        # R1 shared-locks ledger
+    engine.run_for("R2", 2)        # R2 shared-locks ledger
+    engine.run_for("O1", 3)        # O1 exclusive-locks widget, updates
+    engine.run_for("O2", 3)        # O2 exclusive-locks gadget, updates
+    engine.run_to_block("R1")      # R1 wants widget -> waits for O1
+    engine.run_to_block("R2")      # R2 wants widget -> waits for O1
+
+    graph = scheduler.concurrency_graph()
+    print("Waits-for graph before the closing request:")
+    for arc in sorted(graph.arcs, key=lambda a: (a.holder, a.waiter)):
+        print(f"  {arc.holder} -[{arc.entity}]-> {arc.waiter}")
+    print("Forest?", graph.is_forest())
+    print()
+
+    # O1 requests the ledger exclusively: the ledger is shared-held by R1
+    # and R2, so this single wait closes TWO cycles at once.
+    result = engine.run_to_block("O1")
+    assert result.outcome is StepOutcome.DEADLOCK
+    print("O1's exclusive ledger request closes "
+          f"{len(result.deadlock.cycles)} cycles:")
+    for cycle in result.deadlock.cycles:
+        print("  cycle:", " -> ".join(cycle))
+    print("Chosen rollbacks:", [str(a) for a in result.actions])
+    print()
+
+    final = engine.run()
+    print("All transactions committed.")
+    print("Final state:", final.final_state)
+    print("Totals:", final.metrics.summary())
+
+
+if __name__ == "__main__":
+    main()

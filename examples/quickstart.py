@@ -1,0 +1,59 @@
+"""Quickstart: two transactions deadlock; partial rollback resolves it.
+
+Run:  python examples/quickstart.py
+
+Two transfer transactions lock the same two accounts in opposite orders —
+the canonical deadlock.  A classical system would abort one of them and
+restart it from scratch; this library rolls the victim back only to the
+lock state where the contested account was acquired, preserving the rest
+of its progress.
+"""
+
+from repro import Database, Scheduler, TransactionProgram, ops
+from repro.simulation import RoundRobin, SimulationEngine
+
+
+def transfer(txn_id: str, source: str, target: str, amount: int):
+    """A transfer program: lock both accounts, move money, unlock."""
+    return TransactionProgram(txn_id, [
+        ops.lock_exclusive(source),
+        ops.read(source, into="balance"),
+        ops.assign("balance", ops.var("balance") - ops.const(amount)),
+        ops.write(source, ops.var("balance")),
+        ops.lock_exclusive(target),
+        ops.write(target, ops.entity(target) + ops.const(amount)),
+        ops.unlock(source),
+        ops.unlock(target),
+    ])
+
+
+def main() -> None:
+    db = Database({"checking": 1000, "savings": 500})
+    db.add_constraint(
+        lambda s: s["checking"] + s["savings"] == 1500, name="conservation"
+    )
+
+    scheduler = Scheduler(db, strategy="mcs", policy="ordered-min-cost")
+    engine = SimulationEngine(scheduler, RoundRobin())
+    engine.add(transfer("T1", "checking", "savings", 100))
+    engine.add(transfer("T2", "savings", "checking", 50))
+
+    result = engine.run()
+
+    print("Final balances:", result.final_state)
+    print("Consistent:", db.is_consistent())
+    print()
+    summary = result.metrics.summary()
+    print(f"Deadlocks detected : {summary['deadlocks']}")
+    print(f"Rollbacks          : {summary['rollbacks']} "
+          f"({summary['partial_rollbacks']} partial, "
+          f"{summary['total_rollbacks']} total restarts)")
+    print(f"States lost        : {summary['states_lost']} "
+          f"(vs. full restart of a transaction mid-flight)")
+    print()
+    print("Event trace:")
+    print(result.trace.render())
+
+
+if __name__ == "__main__":
+    main()

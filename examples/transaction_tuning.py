@@ -1,0 +1,98 @@
+"""Transaction structuring for cheap rollbacks (§5).
+
+Run:  python examples/transaction_tuning.py
+
+The paper closes by showing that how a transaction arranges its writes
+determines how cheaply it can be rolled back under the single-copy
+(state-dependency-graph) strategy:
+
+* scattering writes across lock states destroys intermediate states
+  (Figure 4: almost nothing is well-defined);
+* clustering each entity's writes right after its lock keeps nearly every
+  lock state well-defined (Figure 5);
+* the three-phase acquire/update/release form needs no monitoring at all
+  after the last lock request.
+
+This example analyses the paper's Figure 4/5 transactions, then applies
+the library's automatic restructuring transforms to a scattered program
+and measures the improvement in a live contended run.
+"""
+
+from repro import Scheduler
+from repro.analysis import (
+    cluster_writes,
+    figure4_transaction,
+    figure5_transaction,
+    structure_report,
+    three_phase_variant,
+    well_defined_states,
+)
+from repro.simulation import (
+    RandomInterleaving,
+    SimulationEngine,
+    WorkloadConfig,
+    expected_final_state,
+    generate_workload,
+)
+
+
+def analyse_figures() -> None:
+    fig4 = figure4_transaction()
+    fig5 = figure5_transaction()
+    print("Figure 4 (scattered writes):")
+    print("  ", structure_report(fig4))
+    print("   well-defined lock states:", well_defined_states(fig4))
+    print("Figure 5 (clustered writes, same operations):")
+    print("  ", structure_report(fig5))
+    print("   well-defined lock states:", well_defined_states(fig5))
+    print()
+
+
+def run_variant(label: str, transform) -> None:
+    config = WorkloadConfig(
+        n_transactions=10,
+        n_entities=8,
+        locks_per_txn=(3, 5),
+        write_ratio=1.0,
+        writes_per_entity=(1, 2),
+        clustered_writes=False,   # generate scattered programs...
+        skew="hotspot",
+    )
+    db, programs = generate_workload(config, seed=5)
+    if transform is not None:
+        programs = [transform(p) for p in programs]
+    expected = expected_final_state(db, programs)
+    scheduler = Scheduler(db, strategy="single-copy",
+                          policy="ordered-min-cost")
+    engine = SimulationEngine(scheduler, RandomInterleaving(seed=5),
+                              max_steps=500_000)
+    for program in programs:
+        engine.add(program)
+    result = engine.run()
+    assert result.final_state == expected, "restructuring broke semantics!"
+    summary = result.metrics.summary()
+    mean_wd = sum(
+        structure_report(p).well_defined_fraction for p in programs
+    ) / len(programs)
+    print(f"{label:<22} well-defined={mean_wd:4.0%}  "
+          f"rollbacks={summary['rollbacks']:>3}  "
+          f"lost={summary['states_lost']:>4}  "
+          f"overshoot={summary['overshoot_states']:>3}")
+
+
+def main() -> None:
+    analyse_figures()
+    print("Live runs under the single-copy strategy "
+          "(same workload & seed):")
+    run_variant("scattered (as-is)", None)
+    run_variant("cluster_writes()", cluster_writes)
+    run_variant("three_phase_variant()", three_phase_variant)
+    print()
+    print("Clustering raises the fraction of well-defined states, which")
+    print("cuts the overshoot the single-copy strategy pays beyond the")
+    print("minimal rollback; the three-phase form eliminates monitored")
+    print("rollback states entirely (writes happen after the last lock).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+"""Reproduction of Fussell, Kedem & Silberschatz (SIGMOD 1981):
+*Deadlock Removal Using Partial Rollback in Database Systems*.
+
+A production-quality simulation library for two-phase-locking database
+concurrency control with partial-rollback deadlock removal:
+
+* :class:`Database` / entities — the global store (§2's system model).
+* :class:`TransactionProgram` + :mod:`repro.core.operations` — validated,
+  re-executable transaction programs.
+* :class:`Scheduler` — the concurrency control: grant / wait / rollback.
+* Rollback strategies: :class:`TotalRestartStrategy` (the classical
+  baseline), :class:`MultiLockCopyStrategy` (MCS, §4),
+  :class:`SingleCopyStrategy` (state-dependency graphs, §4).
+* Victim policies: minimum-cost, ordered minimum-cost (Theorem 2),
+  requester, youngest, oldest.
+* :mod:`repro.simulation` — deterministic interleaving engine, synthetic
+  workload generator, metrics.
+* :mod:`repro.distributed` — multi-site substrate (§3.3).
+* :mod:`repro.analysis` — transaction-structure analysis (§5) and the
+  paper's figure scenarios.
+
+Quickstart
+----------
+>>> from repro import Database, Scheduler, TransactionProgram, ops
+>>> db = Database({"a": 10, "b": 20})
+>>> t1 = TransactionProgram("T1", [
+...     ops.lock_exclusive("a"),
+...     ops.read("a", into="x"),
+...     ops.write("a", ops.var("x") + ops.const(1)),
+...     ops.unlock("a"),
+... ])
+>>> scheduler = Scheduler(db, strategy="mcs", policy="ordered-min-cost")
+>>> _ = scheduler.register(t1)
+>>> scheduler.run_until_quiescent()
+>>> db["a"]
+11
+"""
+
+from .core import (
+    Deadlock,
+    DeadlockDetector,
+    Metrics,
+    MinCostPolicy,
+    MultiLockCopyStrategy,
+    OldestPolicy,
+    OrderedMinCostPolicy,
+    RequesterPolicy,
+    RollbackAction,
+    RollbackStrategy,
+    Scheduler,
+    SingleCopyStrategy,
+    StepOutcome,
+    StepResult,
+    TotalRestartStrategy,
+    Transaction,
+    TransactionProgram,
+    TxnStatus,
+    VictimPolicy,
+    make_policy,
+    make_strategy,
+    ops,
+)
+from .errors import (
+    ConsistencyViolation,
+    DeadlockUnresolvableError,
+    LockError,
+    ProtocolViolation,
+    ReproError,
+    RollbackError,
+    SimulationError,
+    UnknownEntityError,
+    UnknownTransactionError,
+)
+from .graphs import ConcurrencyGraph, StateDependencyGraph
+from .locking import EXCLUSIVE, SHARED, LockManager, LockMode, LockTable
+from .storage import Database, Entity
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConcurrencyGraph",
+    "ConsistencyViolation",
+    "Database",
+    "Deadlock",
+    "DeadlockDetector",
+    "DeadlockUnresolvableError",
+    "EXCLUSIVE",
+    "Entity",
+    "LockError",
+    "LockManager",
+    "LockMode",
+    "LockTable",
+    "Metrics",
+    "MinCostPolicy",
+    "MultiLockCopyStrategy",
+    "OldestPolicy",
+    "OrderedMinCostPolicy",
+    "ProtocolViolation",
+    "ReproError",
+    "RequesterPolicy",
+    "RollbackAction",
+    "RollbackError",
+    "RollbackStrategy",
+    "SHARED",
+    "Scheduler",
+    "SimulationError",
+    "SingleCopyStrategy",
+    "StateDependencyGraph",
+    "StepOutcome",
+    "StepResult",
+    "TotalRestartStrategy",
+    "Transaction",
+    "TransactionProgram",
+    "TxnStatus",
+    "UnknownEntityError",
+    "UnknownTransactionError",
+    "VictimPolicy",
+    "__version__",
+    "make_policy",
+    "make_strategy",
+    "ops",
+]

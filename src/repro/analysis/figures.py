@@ -1,0 +1,276 @@
+"""Programmatic constructions of the paper's Figures 1–5.
+
+The SIGMOD '81 scan reproduces the figure captions and the surrounding
+narrative but not the figure artwork, so each scenario here is built from
+the *text*: every number the prose states (state indices, rollback costs
+4/6/5, the chosen victim, which rollbacks remove which deadlocks, which
+lock states are well-defined) is reproduced exactly; peripheral vertices
+the prose only mentions in passing (T5, T6 in Figure 1) are reconstructed
+minimally and documented as such.
+
+Lock-index convention note (Figure 4): the paper's trivial well-defined
+states are "lock index 0 or lock index 6" for a six-lock transaction.  In
+this library's indexing, lock state ``k`` is the state immediately before
+the ``k``-th lock request, so with no operations before the first lock
+request, lock state 1 coincides with lock state 0 and both are trivially
+well-defined — the same two trivial states, shifted by one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core import ops
+from ..core.operations import Operation
+from ..core.scheduler import Scheduler
+from ..core.transaction import TransactionProgram
+from ..graphs.concurrency import ConcurrencyGraph
+from ..simulation.engine import SimulationEngine
+from ..storage.database import Database
+
+
+def _filler(count: int, prefix: str) -> list[Operation]:
+    """Local-only padding operations used to hit exact state indices."""
+    return [
+        ops.assign(f"{prefix}{i}", ops.const(i)) for i in range(count)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Figure 1: exclusive-lock deadlock with cost-optimal victim selection
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Figure1Scenario:
+    """The Figure 1(a) system, realised as live transaction programs.
+
+    The prose fixes: T2 requested ``b`` from its 8th state and ``e`` from
+    state 12; T3 requested ``c`` from state 5 and ``b`` from state 11; T4
+    requested ``e`` from state 10 and ``c`` from state 15; T1 waits for
+    ``b`` held by T2.  Rollback costs are then T2: 12-8=4, T3: 11-5=6,
+    T4: 15-10=5, and the cost-optimal victim is T2.  T2 additionally holds
+    ``f`` locked from its state 4 (stated in the Figure 2 narrative), which
+    the Figure 2 scenario builds on.
+    """
+
+    database: Database
+    programs: dict[str, TransactionProgram]
+
+    #: The rollback costs the paper's prose states.
+    paper_costs = {"T2": 4, "T3": 6, "T4": 5}
+    #: The victim the paper's optimisation chooses.
+    paper_victim = "T2"
+
+    @classmethod
+    def build(cls) -> "Figure1Scenario":
+        database = Database(
+            {name: 0 for name in ("a", "b", "c", "d", "e", "f")}
+        )
+        # Operation indices are state indices: the k-th operation runs in
+        # state k.  Tail ops let every program outlive the deadlock.
+        t1 = TransactionProgram("T1", [
+            *_filler(3, "t1_"),
+            ops.lock_exclusive("b"),          # state 3: waits for b
+            ops.write("b", ops.entity("b") + ops.const(1)),
+        ])
+        t2 = TransactionProgram("T2", [
+            *_filler(4, "t2a_"),
+            ops.lock_exclusive("f"),          # state 4 (Figure 2 narrative)
+            *_filler(3, "t2b_"),
+            ops.lock_exclusive("b"),          # state 8
+            *_filler(3, "t2c_"),
+            ops.lock_exclusive("e"),          # state 12
+            ops.write("e", ops.entity("e") + ops.const(1)),
+            ops.write("b", ops.entity("b") + ops.const(1)),
+            ops.write("f", ops.entity("f") + ops.const(1)),
+        ])
+        t3 = TransactionProgram("T3", [
+            *_filler(5, "t3a_"),
+            ops.lock_exclusive("c"),          # state 5
+            *_filler(5, "t3b_"),
+            ops.lock_exclusive("b"),          # state 11
+            *_filler(2, "t3c_"),
+            ops.lock_exclusive("f"),          # state 14 (Figure 2)
+            ops.write("c", ops.entity("c") + ops.const(1)),
+        ])
+        t4 = TransactionProgram("T4", [
+            *_filler(10, "t4a_"),
+            ops.lock_exclusive("e"),          # state 10
+            *_filler(4, "t4b_"),
+            ops.lock_exclusive("c"),          # state 15
+            ops.write("e", ops.entity("e") + ops.const(1)),
+        ])
+        return cls(
+            database=database,
+            programs={"T1": t1, "T2": t2, "T3": t3, "T4": t4},
+        )
+
+def drive_figure1(policy: str = "min-cost", strategy: str = "mcs"):
+    """Run the Figure 1(a) interleaving up to the deadlock.
+
+    Returns ``(engine, deadlock_result)`` where ``deadlock_result`` is the
+    step result of T4's blocking request for ``c`` — the wait response that
+    closes the cycle T2 -> T3 -> T4 -> T2.
+    """
+    scenario = Figure1Scenario.build()
+    scheduler = Scheduler(scenario.database, strategy=strategy, policy=policy)
+    engine = SimulationEngine(scheduler, max_steps=100_000,
+                              livelock_window=400)
+    for txn_id in ("T1", "T2", "T3", "T4"):
+        engine.add(scenario.programs[txn_id])
+    # T3: 5 fillers + lock c (granted)  -> pc 6, holds c
+    engine.run_for("T3", 6)
+    # T4: 10 fillers + lock e (granted) -> pc 11, holds e
+    engine.run_for("T4", 11)
+    # T2: 4 fillers + lock f + 3 fillers + lock b (granted) -> pc 9, then
+    # 3 fillers + lock e -> blocks waiting for T4 (state 12).
+    result = engine.run_to_block("T2")
+    assert result is not None and result.txn_id == "T2"
+    # T3: 5 fillers + lock b -> blocks waiting for T2 (state 11).
+    engine.run_to_block("T3")
+    # T1: 3 fillers + lock b -> blocks waiting for T2 (state 3).
+    engine.run_to_block("T1")
+    # T4: 4 fillers + lock c -> blocks; this wait closes the cycle.
+    deadlock_result = engine.run_to_block("T4")
+    return engine, deadlock_result
+
+
+# ---------------------------------------------------------------------------
+# Figure 2: potentially infinite mutual preemption
+# ---------------------------------------------------------------------------
+
+
+def drive_figure2(policy: str, strategy: str = "mcs",
+                  livelock_window: int = 400):
+    """Continue the Figure 1 system to completion (or livelock).
+
+    Under unconstrained ``min-cost`` selection the configuration of
+    Figure 1(a) recurs indefinitely: T2 and T3 alternately preempt each
+    other exactly as §3.1 describes, and the run is flagged as livelocked.
+    Under ``ordered-min-cost`` (Theorem 2) the run terminates.
+
+    Returns the :class:`~repro.simulation.engine.SimulationResult`.
+    """
+    engine, _deadlock = drive_figure1(policy=policy, strategy=strategy)
+    engine.livelock_window = livelock_window
+    return engine.run()
+
+
+# ---------------------------------------------------------------------------
+# Figure 3: concurrency graphs with shared and exclusive locks
+# ---------------------------------------------------------------------------
+
+
+def figure3a() -> ConcurrencyGraph:
+    """Figure 3(a): a deadlock-free graph that is a DAG but not a forest.
+
+    T2 waits for ``a`` exclusively held by T1; T3 has requested an
+    exclusive lock on ``c`` on which T1 and T2 hold shared locks, so T3
+    waits for both (in-degree 2 — impossible with exclusive locks only).
+    """
+    graph = ConcurrencyGraph(["T1", "T2", "T3"])
+    graph.add_wait("T1", "T2", "a")
+    graph.add_wait("T1", "T3", "c")
+    graph.add_wait("T2", "T3", "c")
+    return graph
+
+
+def figure3b() -> ConcurrencyGraph:
+    """Figure 3(b): one wait response closing two cycles.
+
+    Extends 3(a)'s pattern: T2 waits for ``a`` held by T1, T3 waits for
+    ``b`` held by T2, and T1's exclusive request on ``e`` — shared-held by
+    T2 and T3 — closes the cycles (T1 T2) and (T1 T2 T3).  Rollback of T1
+    removes all deadlocks; so does rollback of T2 (it lies on both
+    cycles).
+    """
+    graph = ConcurrencyGraph(["T1", "T2", "T3"])
+    graph.add_wait("T1", "T2", "a")
+    graph.add_wait("T2", "T3", "b")
+    graph.add_wait("T2", "T1", "e")
+    graph.add_wait("T3", "T1", "e")
+    return graph
+
+
+def figure3c() -> ConcurrencyGraph:
+    """Figure 3(c): an exclusive request by T1 on ``f``, shared-held by T2
+    and T3, closing two cycles that share only T1: rollback of T1 removes
+    both, otherwise *both* T2 and T3 must be rolled back."""
+    graph = ConcurrencyGraph(["T1", "T2", "T3"])
+    graph.add_wait("T1", "T2", "a")
+    graph.add_wait("T1", "T3", "b")
+    graph.add_wait("T2", "T1", "f")
+    graph.add_wait("T3", "T1", "f")
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# Figure 4: a write-scattered transaction and its state-dependency graph
+# ---------------------------------------------------------------------------
+
+
+def figure4_transaction() -> TransactionProgram:
+    """A six-lock transaction whose writes are maximally scattered.
+
+    Reconstructed from the prose: at its final lock state, *no*
+    non-trivial lock state is well-defined, and deleting the single
+    operation ``C <- K`` (here: the second write to ``C``) makes lock
+    state 4 well-defined.  Write placement:
+
+    * ``A`` (locked 1st): writes at lock indices 1 and 3 — kills states
+      2 and 3;
+    * ``C`` (locked 2nd): writes at lock indices 2 and 4 — kills states
+      3 and 4 (the write at 4 is the ``C <- K`` of the paper);
+    * ``D`` (locked 4th): writes at lock indices 4 and 5 — kills state 5.
+    """
+    return TransactionProgram("T_fig4", [
+        ops.lock_exclusive("A"),                                  # lock 1
+        ops.write("A", ops.entity("A") + ops.const(1)),           # idx 1
+        ops.lock_exclusive("C"),                                  # lock 2
+        ops.write("C", ops.entity("C") + ops.const(1)),           # idx 2
+        ops.lock_exclusive("B"),                                  # lock 3
+        ops.write("A", ops.entity("A") + ops.const(10)),          # idx 3
+        ops.lock_exclusive("D"),                                  # lock 4
+        ops.write("C", ops.const(7)),                             # C <- K
+        ops.write("D", ops.entity("D") + ops.const(1)),           # idx 4
+        ops.lock_exclusive("E"),                                  # lock 5
+        ops.write("D", ops.entity("D") + ops.const(10)),          # idx 5
+        ops.lock_exclusive("F"),                                  # lock 6
+    ])
+
+
+def figure4_transaction_without_ck() -> TransactionProgram:
+    """The same transaction with the ``C <- K`` operation deleted — the
+    paper's modification that makes lock state 4 well-defined."""
+    base = figure4_transaction()
+    operations = [
+        op for op in base.operations
+        if not (op.describe() == "write(C <- 7)")
+    ]
+    return TransactionProgram("T_fig4_noCK", operations)
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: the same operations, write-clustered
+# ---------------------------------------------------------------------------
+
+
+def figure5_transaction() -> TransactionProgram:
+    """Figure 4's operations reordered so each entity's writes cluster
+    immediately after its lock (the §5-efficient structure): the number of
+    well-defined states rises sharply."""
+    return TransactionProgram("T_fig5", [
+        ops.lock_exclusive("A"),                                  # lock 1
+        ops.write("A", ops.entity("A") + ops.const(1)),
+        ops.write("A", ops.entity("A") + ops.const(10)),
+        ops.lock_exclusive("C"),                                  # lock 2
+        ops.write("C", ops.entity("C") + ops.const(1)),
+        ops.write("C", ops.const(7)),
+        ops.lock_exclusive("B"),                                  # lock 3
+        ops.lock_exclusive("D"),                                  # lock 4
+        ops.write("D", ops.entity("D") + ops.const(1)),
+        ops.write("D", ops.entity("D") + ops.const(10)),
+        ops.lock_exclusive("E"),                                  # lock 5
+        ops.lock_exclusive("F"),                                  # lock 6
+    ])

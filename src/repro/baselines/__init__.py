@@ -1,0 +1,20 @@
+"""Deadlock-handling baselines the paper positions itself against (§1).
+
+* :func:`static_order_variant` — hierarchical/static lock ordering
+  (avoidance via a priori order, after [6, 9]).
+* :class:`PreclaimScheduler` — predeclared atomic lock acquisition
+  (avoidance via a priori lock sets, after Dijkstra's banker [3]).
+* :class:`NoWaitScheduler` — never wait, restart on conflict (prevention
+  by construction, the paper's implicit worst-case comparator).
+"""
+
+from .no_wait import NoWaitScheduler
+from .preclaim import PreclaimScheduler
+from .static_order import follows_static_order, static_order_variant
+
+__all__ = [
+    "NoWaitScheduler",
+    "PreclaimScheduler",
+    "follows_static_order",
+    "static_order_variant",
+]

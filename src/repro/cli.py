@@ -1,0 +1,246 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``
+    Generate a synthetic workload and run it through the scheduler,
+    printing the metrics summary (optionally the full event trace).
+``compare``
+    Run the same workload under all three rollback strategies and print a
+    side-by-side table.
+``figures``
+    Reproduce the paper's Figures 1–5 and print the measured artefacts
+    next to the paper's statements.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import (
+    drive_figure1,
+    drive_figure2,
+    figure3a,
+    figure3b,
+    figure3c,
+    figure4_transaction,
+    figure4_transaction_without_ck,
+    figure5_transaction,
+    well_defined_states,
+)
+from .core.scheduler import Scheduler
+from .graphs.render import concurrency_to_ascii
+from .simulation import (
+    RandomInterleaving,
+    SimulationEngine,
+    WorkloadConfig,
+    expected_final_state,
+    generate_workload,
+)
+
+STRATEGIES = ("total", "mcs", "single-copy", "undo-log", "k-copy:1",
+              "k-copy:2", "k-copy:inf")
+POLICIES = ("min-cost", "ordered-min-cost", "requester", "youngest",
+            "oldest")
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--transactions", type=int, default=10,
+                        help="number of concurrent transactions")
+    parser.add_argument("--entities", type=int, default=10,
+                        help="number of database entities")
+    parser.add_argument("--locks", type=int, nargs=2, default=(2, 5),
+                        metavar=("MIN", "MAX"),
+                        help="locks per transaction (range)")
+    parser.add_argument("--write-ratio", type=float, default=0.8,
+                        help="probability a lock is exclusive")
+    parser.add_argument("--skew", choices=("uniform", "zipf", "hotspot"),
+                        default="hotspot", help="entity access skew")
+    parser.add_argument("--scattered", action="store_true",
+                        help="scatter writes across lock states (§5)")
+    parser.add_argument("--three-phase", action="store_true",
+                        help="generate acquire/update/release programs")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="workload + interleaving seed")
+
+
+def _build(args) -> tuple:
+    config = WorkloadConfig(
+        n_transactions=args.transactions,
+        n_entities=args.entities,
+        locks_per_txn=tuple(args.locks),
+        write_ratio=args.write_ratio,
+        skew=args.skew,
+        clustered_writes=not args.scattered,
+        three_phase=args.three_phase,
+    )
+    db, programs = generate_workload(config, seed=args.seed)
+    return db, programs, expected_final_state(db, programs)
+
+
+def _run_once(args, strategy: str, policy: str):
+    db, programs, expected = _build(args)
+    scheduler = Scheduler(db, strategy=strategy, policy=policy)
+    engine = SimulationEngine(
+        scheduler, RandomInterleaving(seed=args.seed + 1),
+        max_steps=2_000_000, livelock_window=50_000,
+    )
+    for program in programs:
+        engine.add(program)
+    result = engine.run()
+    serializable = (
+        not result.livelock_detected and result.final_state == expected
+    )
+    return result, serializable
+
+
+def cmd_run(args) -> int:
+    result, serializable = _run_once(args, args.strategy, args.policy)
+    if args.trace:
+        print(result.trace.render())
+        print()
+    for key, value in result.metrics.summary().items():
+        print(f"{key:>20}: {value}")
+    print(f"{'steps':>20}: {result.steps}")
+    print(f"{'mean blocked':>20}: {result.mean_blocked:.2f}")
+    print(f"{'livelock':>20}: {result.livelock_detected}")
+    print(f"{'serializable':>20}: {serializable}")
+    return 0 if serializable else 1
+
+
+def cmd_compare(args) -> int:
+    print(f"{'strategy':<14}{'deadlocks':>10}{'rollbacks':>10}"
+          f"{'restarts':>10}{'lost':>8}{'copies':>8}{'steps':>8}")
+    ok = True
+    for strategy in STRATEGIES:
+        result, serializable = _run_once(args, strategy, args.policy)
+        ok = ok and serializable
+        m = result.metrics
+        print(f"{strategy:<14}{m.deadlocks:>10}{m.rollbacks:>10}"
+              f"{m.total_rollbacks:>10}{m.states_lost:>8}"
+              f"{m.copies_peak:>8}{result.steps:>8}")
+    return 0 if ok else 1
+
+
+def cmd_sweep(args) -> int:
+    from .simulation import Sweep, WorkloadConfig, tabulate
+
+    base = WorkloadConfig(
+        n_transactions=args.transactions,
+        n_entities=args.entities,
+        locks_per_txn=tuple(args.locks),
+        write_ratio=args.write_ratio,
+        skew=args.skew,
+        clustered_writes=not args.scattered,
+        three_phase=args.three_phase,
+    )
+    sweep = Sweep(base=base, seeds=range(args.seeds))
+    if args.axis == "strategy":
+        cells = sweep.over_strategies(list(STRATEGIES), policy=args.policy)
+    elif args.axis == "policy":
+        cells = sweep.over_policies(list(POLICIES))
+    else:
+        cells = sweep.over_concurrency(
+            [args.transactions // 2, args.transactions,
+             args.transactions * 2],
+            policy=args.policy,
+        )
+    print(tabulate(
+        cells,
+        metrics=("deadlocks", "rollbacks", "total_rollbacks",
+                 "states_lost", "overshoot_states", "copies_peak"),
+    ))
+    return 0 if all(c.serializable for c in cells) else 1
+
+
+def cmd_figures(_args) -> int:
+    print("Figure 1 — exclusive-lock deadlock, cost-optimal victim")
+    engine, result = drive_figure1(policy="min-cost")
+    print(f"  cycle: {' -> '.join(result.deadlock.cycles[0])}")
+    print(f"  action: {result.actions[0]}  (paper: rollback T2, cost 4)")
+    print("  graph after resolution:")
+    for line in concurrency_to_ascii(
+        engine.scheduler.concurrency_graph()
+    ).splitlines():
+        print(f"    {line}")
+
+    print("\nFigure 2 — potentially infinite mutual preemption")
+    unordered = drive_figure2("min-cost")
+    ordered = drive_figure2("ordered-min-cost")
+    print(f"  min-cost:         livelock={unordered.livelock_detected} "
+          f"rollbacks={unordered.metrics.rollbacks}")
+    print(f"  ordered-min-cost: livelock={ordered.livelock_detected} "
+          f"commits={len(ordered.committed)}  (Theorem 2)")
+
+    print("\nFigure 3 — shared + exclusive locks")
+    a, b, c = figure3a(), figure3b(), figure3c()
+    print(f"  3(a): forest={a.is_forest()} deadlock={a.has_deadlock()}")
+    print(f"  3(b): cycles through T1: {b.cycles_through('T1')}")
+    print(f"  3(c): cycles through T1: {c.cycles_through('T1')}")
+
+    print("\nFigure 4 — state-dependency graph")
+    print(f"  scattered T1:  well-defined = "
+          f"{well_defined_states(figure4_transaction())}")
+    print(f"  without C<-K:  well-defined = "
+          f"{well_defined_states(figure4_transaction_without_ck())}")
+
+    print("\nFigure 5 — clustered writes")
+    print(f"  clustered T2:  well-defined = "
+          f"{well_defined_states(figure5_transaction())}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Partial-rollback deadlock removal "
+            "(Fussell/Kedem/Silberschatz, SIGMOD 1981) — simulation CLI"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one synthetic workload")
+    _add_workload_args(p_run)
+    p_run.add_argument("--strategy", choices=STRATEGIES, default="mcs")
+    p_run.add_argument("--policy", choices=POLICIES,
+                       default="ordered-min-cost")
+    p_run.add_argument("--trace", action="store_true",
+                       help="print the full event trace")
+    p_run.set_defaults(fn=cmd_run)
+
+    p_cmp = sub.add_parser("compare",
+                           help="same workload under all strategies")
+    _add_workload_args(p_cmp)
+    p_cmp.add_argument("--policy", choices=POLICIES,
+                       default="ordered-min-cost")
+    p_cmp.set_defaults(fn=cmd_compare)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="sweep one axis over a workload and tabulate"
+    )
+    _add_workload_args(p_sweep)
+    p_sweep.add_argument("--axis",
+                         choices=("strategy", "policy", "concurrency"),
+                         default="strategy")
+    p_sweep.add_argument("--policy", choices=POLICIES,
+                         default="ordered-min-cost")
+    p_sweep.add_argument("--seeds", type=int, default=3,
+                         help="number of seeds per cell")
+    p_sweep.set_defaults(fn=cmd_sweep)
+
+    p_fig = sub.add_parser("figures",
+                           help="reproduce the paper's figures")
+    p_fig.set_defaults(fn=cmd_figures)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""The paper's contribution: partial-rollback deadlock removal for 2PL.
+
+Public surface: transaction programs and operations, the three rollback
+strategies (total restart, MCS, single-copy/SDG), victim policies, deadlock
+detection, and the scheduler tying them together.
+"""
+
+from . import operations as ops
+from .detection import Deadlock, DeadlockDetector
+from .interactive import InteractiveProgram, TxnContext
+from .k_copy import KCopyStrategy, eager_allocator, threshold_allocator
+from .mcs import MultiLockCopyStrategy
+from .metrics import Metrics, RollbackEvent
+from .periodic import PeriodicDetectionScheduler
+from .rollback import RollbackStrategy, make_strategy
+from .savepoints import Savepoint, SavepointManager
+from .scheduler import Scheduler, StepOutcome, StepResult
+from .single_copy import SingleCopyStrategy
+from .total import TotalRestartStrategy
+from .undo_log import UndoLogStrategy
+from .transaction import (
+    LockRecord,
+    Transaction,
+    TransactionProgram,
+    TxnStatus,
+)
+from .victim import (
+    MinCostPolicy,
+    OldestPolicy,
+    OrderedMinCostPolicy,
+    RequesterPolicy,
+    RollbackAction,
+    VictimContext,
+    VictimPolicy,
+    YoungestPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "Deadlock",
+    "InteractiveProgram",
+    "KCopyStrategy",
+    "DeadlockDetector",
+    "LockRecord",
+    "Metrics",
+    "MinCostPolicy",
+    "MultiLockCopyStrategy",
+    "OldestPolicy",
+    "OrderedMinCostPolicy",
+    "PeriodicDetectionScheduler",
+    "RequesterPolicy",
+    "RollbackAction",
+    "RollbackEvent",
+    "RollbackStrategy",
+    "Savepoint",
+    "SavepointManager",
+    "Scheduler",
+    "SingleCopyStrategy",
+    "StepOutcome",
+    "StepResult",
+    "TotalRestartStrategy",
+    "UndoLogStrategy",
+    "Transaction",
+    "TxnContext",
+    "TransactionProgram",
+    "TxnStatus",
+    "VictimContext",
+    "VictimPolicy",
+    "YoungestPolicy",
+    "eager_allocator",
+    "make_policy",
+    "make_strategy",
+    "threshold_allocator",
+    "ops",
+]

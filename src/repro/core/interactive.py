@@ -1,0 +1,212 @@
+"""Interactive transactions: Python control flow as transaction programs.
+
+The declarative operation lists of :class:`TransactionProgram` are
+re-executable by construction, which is what the paper's rollback needs.
+This module extends re-executability to ordinary Python code: a
+transaction is written as a *generator script* —
+
+>>> def transfer(t):
+...     yield t.lock_x("checking")
+...     balance = yield t.read("checking")
+...     if balance >= 100:                      # real control flow!
+...         yield t.write("checking", balance - 100)
+...         yield t.lock_x("savings")
+...         saved = yield t.read("savings")
+...         yield t.write("savings", saved + 100)
+...
+>>> program = InteractiveProgram("T1", transfer)
+
+Each ``yield`` hands one operation to the scheduler; read operations
+deliver their value back into the generator.  Operations materialise on
+demand, so the script may branch on the data it reads.
+
+Partial rollback works through *deterministic replay*: the program logs
+every operation it yielded and every result delivered.  When the
+scheduler rolls the transaction back to lock state *k* (program position
+``pc``), the materialised suffix is discarded, a fresh generator is
+created, and the retained prefix is replayed by feeding the logged
+results — restoring the script's internal Python state exactly as it was
+at ``pc``.  Execution then resumes live: re-reads may now return
+different values and the script may take a different branch, which is
+precisely the re-execution semantics of the paper's model.
+
+Replay is sound only if the script is deterministic given its reads
+(no randomness, wall-clock, or I/O); a divergence between a replayed
+operation and the logged one raises
+:class:`~repro.errors.SimulationError` rather than corrupting state.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Generator, Iterator
+
+from ..errors import SimulationError
+from .operations import Operation, const, lock_exclusive, lock_shared
+from . import operations as ops
+from .transaction import TransactionProgram
+
+Value = Any
+Script = Callable[["TxnContext"], Generator[Operation, Value, None]]
+
+
+class TxnContext:
+    """The handle a script uses to build operations.
+
+    Thin sugar over :mod:`repro.core.operations`; reads get an
+    auto-generated local variable so the strategies see a consistent
+    model, and writes accept plain Python values (the script computes
+    with real values, replay recomputes them).
+    """
+
+    def __init__(self) -> None:
+        self._read_counter = itertools.count()
+
+    def lock_x(self, entity: str) -> Operation:
+        return lock_exclusive(entity)
+
+    def lock_s(self, entity: str) -> Operation:
+        return lock_shared(entity)
+
+    def unlock(self, entity: str) -> Operation:
+        return ops.unlock(entity)
+
+    def read(self, entity: str) -> Operation:
+        return ops.read(entity, into=f"__read{next(self._read_counter)}")
+
+    def write(self, entity: str, value: Value) -> Operation:
+        return ops.write(entity, const(value))
+
+    def declare_last_lock(self) -> Operation:
+        return ops.declare_last_lock()
+
+
+class InteractiveProgram(TransactionProgram):
+    """A transaction program materialised from a generator script."""
+
+    def __init__(self, txn_id: str, script: Script) -> None:
+        # Bypass the parent constructor's static validation: operations
+        # materialise dynamically and are enforced at runtime by the lock
+        # manager and the strategies.
+        self.txn_id = txn_id
+        self.operations: list[Operation] = []
+        self.initial_locals: dict[str, Value] = {}
+        self._script = script
+        self._results: list[Value] = []
+        self._generator: Iterator[Operation] | None = None
+        self._exhausted = False
+        self._start()
+
+    # -- generator management -----------------------------------------------
+
+    def _start(self) -> None:
+        self._generator = self._script(TxnContext())
+        self._exhausted = False
+
+    def _pull(self, send_value: Value) -> None:
+        """Advance the generator one step, materialising the next op."""
+        assert self._generator is not None
+        try:
+            if not self.operations and send_value is None:
+                operation = next(self._generator)
+            else:
+                operation = self._generator.send(send_value)
+        except StopIteration:
+            self._exhausted = True
+            return
+        if not isinstance(operation, Operation):
+            raise SimulationError(
+                f"{self.txn_id}'s script yielded {operation!r}, not an "
+                f"operation"
+            )
+        self.operations.append(operation)
+
+    # -- TransactionProgram hooks ---------------------------------------------
+
+    def op_at(self, pc: int) -> Operation | None:
+        if pc < len(self.operations):
+            return self.operations[pc]
+        if self._exhausted:
+            return None
+        if pc == 0 and not self.operations:
+            self._pull(None)
+            return self.operations[0] if self.operations else None
+        if pc == len(self.operations) and len(self._results) == pc:
+            # The previous op's result has been delivered; materialise.
+            self._pull(self._results[-1] if self._results else None)
+            if pc < len(self.operations):
+                return self.operations[pc]
+            return None
+        if pc > len(self.operations):  # pragma: no cover - scheduler bug
+            raise SimulationError(
+                f"{self.txn_id} skipped past unmaterialised operations"
+            )
+        return None
+
+    def on_op_completed(self, pc: int, result: Value) -> None:
+        if pc == len(self._results):
+            self._results.append(result)
+        elif pc < len(self._results):
+            # Re-completion should not happen: ops past a rollback point
+            # are re-materialised, resetting the result log first.
+            raise SimulationError(
+                f"{self.txn_id} completed op {pc} twice without rollback"
+            )
+        else:  # pragma: no cover - scheduler bug
+            raise SimulationError(
+                f"{self.txn_id} completed op {pc} before op {len(self._results)}"
+            )
+
+    def on_rollback(self, pc: int) -> None:
+        """Discard the suffix and replay the retained prefix.
+
+        The fresh generator is driven through the first *pc* operations by
+        feeding the logged results; each replayed operation must match the
+        logged one (determinism check).
+        """
+        logged_ops = self.operations[:pc]
+        logged_results = self._results[:pc]
+        self.operations = []
+        self._results = logged_results
+        self._start()
+        send_value: Value = None
+        for position, expected in enumerate(logged_ops):
+            self._pull(send_value)
+            if self._exhausted or len(self.operations) != position + 1:
+                raise SimulationError(
+                    f"{self.txn_id}'s script ended during replay at "
+                    f"position {position}"
+                )
+            replayed = self.operations[position]
+            if replayed.describe() != expected.describe():
+                raise SimulationError(
+                    f"{self.txn_id}'s script diverged during replay at "
+                    f"position {position}: {replayed.describe()} != "
+                    f"{expected.describe()} (scripts must be "
+                    f"deterministic given their reads)"
+                )
+            send_value = logged_results[position]
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def lock_operations(self):
+        """Materialised lock requests so far (grows as the script runs)."""
+        from .operations import Lock
+
+        return [
+            (i, op)
+            for i, op in enumerate(self.operations)
+            if isinstance(op, Lock)
+        ]
+
+    @property
+    def entities_accessed(self):
+        """Entities locked *so far* — unknowable upfront for a script."""
+        return {op.entity_name for _i, op in self.lock_operations}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"InteractiveProgram({self.txn_id!r}, "
+            f"{len(self.operations)} ops materialised)"
+        )

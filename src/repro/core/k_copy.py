@@ -1,0 +1,262 @@
+"""The k-copy strategy: single-copy plus a bounded retention budget (§5).
+
+The paper's closing open problem: "the state-dependency graph
+implementation of partial rollback can easily be extended to allow more
+than one local copy to be kept for entities.  The problem of determining
+how to allocate a bounded amount of extra storage to the entities in
+order to maximize the number of well-defined states ... remains another
+interesting question for further study."
+
+:class:`KCopyStrategy` implements the extension: each transaction gets a
+budget of ``extra_copies`` retained values; whenever a write would destroy
+the restorability of earlier lock states (a re-write at a later lock
+index), the allocator decides whether to spend one budget unit retaining
+the destroyed value, which keeps the covered lock states well-defined.
+
+Allocators
+----------
+``eager``
+    Spend budget on the first destroying writes encountered (simple
+    online policy).
+``threshold:<w>``
+    Spend budget only on writes whose kill interval spans at least ``w``
+    lock states (wider intervals protect more states per copy — a better
+    bang for the budget when contention hits mid-transaction states).
+
+``extra_copies=0`` degenerates to the single-copy strategy;
+``extra_copies=None`` (unbounded) makes every lock state restorable like
+MCS, at MCS-like storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..errors import LockError, RollbackError
+from ..locking.modes import LockMode
+from ..storage.multicopy import MultiCopy
+from .rollback import RollbackStrategy
+from .transaction import Transaction
+
+Value = Any
+
+#: Decides whether to retain.  Receives the kill-interval width (in lock
+#: states), the variable name, and the destructive write's lock index
+#: (which uniquely identifies the interval — its upper endpoint); returns
+#: True to spend one budget unit.
+Allocator = Callable[[int, str, int], bool]
+
+
+def eager_allocator(_width: int, _variable: str, _lock_index: int) -> bool:
+    """Retain whenever budget remains."""
+    return True
+
+
+def threshold_allocator(min_width: int) -> Allocator:
+    """Retain only when the destroyed interval spans >= *min_width*."""
+
+    def allocate(width: int, _variable: str, _lock_index: int) -> bool:
+        return width >= min_width
+
+    return allocate
+
+
+@dataclass
+class _KCopyState:
+    entities: dict[str, MultiCopy] = field(default_factory=dict)
+    shared_values: dict[str, Value] = field(default_factory=dict)
+    locals: dict[str, MultiCopy] = field(default_factory=dict)
+    budget_used: int = 0
+    monitoring: bool = True
+
+
+class KCopyStrategy(RollbackStrategy):
+    """Partial rollback with a bounded extra-copy budget per transaction."""
+
+    name = "k-copy"
+
+    def __init__(
+        self,
+        extra_copies: int | None = 1,
+        allocator: Allocator | None = None,
+    ) -> None:
+        if extra_copies is not None and extra_copies < 0:
+            raise ValueError("extra_copies must be >= 0 or None")
+        self.extra_copies = extra_copies
+        self.allocator = allocator or eager_allocator
+        self._states: dict[str, _KCopyState] = {}
+
+    def _state(self, txn: Transaction) -> _KCopyState:
+        return self._states[txn.txn_id]
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def begin(self, txn: Transaction) -> None:
+        state = _KCopyState()
+        for var, value in txn.program.initial_locals.items():
+            state.locals[var] = MultiCopy(var, base_value=value)
+        self._states[txn.txn_id] = state
+
+    def on_finish(self, txn: Transaction) -> None:
+        self._states.pop(txn.txn_id, None)
+
+    # -- notifications -------------------------------------------------------
+
+    def on_lock_granted(
+        self,
+        txn: Transaction,
+        entity: str,
+        mode: LockMode,
+        global_value: Value,
+        ordinal: int,
+    ) -> None:
+        state = self._state(txn)
+        if mode.is_exclusive:
+            state.entities[entity] = MultiCopy(
+                entity, base_value=global_value, lock_index=ordinal
+            )
+        else:
+            state.shared_values[entity] = global_value
+
+    def on_unlock(self, txn: Transaction, entity: str) -> None:
+        state = self._state(txn)
+        copy = state.entities.pop(entity, None)
+        if copy is not None:
+            state.budget_used -= len(copy.retained)
+        state.shared_values.pop(entity, None)
+
+    def on_declare_last_lock(self, txn: Transaction) -> None:
+        self._state(txn).monitoring = False
+
+    # -- data access --------------------------------------------------------
+
+    def read_entity(self, txn: Transaction, entity: str) -> Value:
+        state = self._state(txn)
+        if entity in state.entities:
+            return state.entities[entity].value
+        if entity in state.shared_values:
+            return state.shared_values[entity]
+        raise LockError(f"{txn.txn_id} holds no copy of {entity!r}")
+
+    def write_entity(self, txn: Transaction, entity: str, value: Value) -> None:
+        state = self._state(txn)
+        if entity not in state.entities:
+            raise LockError(
+                f"{txn.txn_id} has no exclusive-lock copy of {entity!r}"
+            )
+        self._write(state, state.entities[entity], value, txn.lock_count)
+
+    def read_local(self, txn: Transaction, var: str) -> Value:
+        state = self._state(txn)
+        if var not in state.locals:
+            raise KeyError(f"{txn.txn_id} has no local variable {var!r}")
+        return state.locals[var].value
+
+    def write_local(self, txn: Transaction, var: str, value: Value) -> None:
+        state = self._state(txn)
+        if var not in state.locals:
+            state.locals[var] = MultiCopy(var, base_value=value)
+            return
+        self._write(state, state.locals[var], value, txn.lock_count)
+
+    def _write(
+        self,
+        state: _KCopyState,
+        copy: MultiCopy,
+        value: Value,
+        lock_index: int,
+    ) -> None:
+        if not state.monitoring:
+            copy.value = value  # updates only; no history once declared
+            return
+        retain = False
+        destroys = (
+            copy.last_write_index is not None
+            and lock_index > copy.last_write_index
+        )
+        if destroys and self._budget_remaining(state):
+            width = lock_index - copy.last_write_index
+            retain = self.allocator(width, copy.name, lock_index)
+        if copy.write(value, lock_index, retain=retain):
+            state.budget_used += 1
+
+    def _budget_remaining(self, state: _KCopyState) -> bool:
+        if self.extra_copies is None:
+            return True
+        return state.budget_used < self.extra_copies
+
+    def final_value(self, txn: Transaction, entity: str) -> Value:
+        return self._state(txn).entities[entity].value
+
+    # -- rollback ----------------------------------------------------------
+
+    def _all_copies(self, state: _KCopyState):
+        yield from state.entities.values()
+        yield from state.locals.values()
+
+    def well_defined(self, txn: Transaction, ordinal: int) -> bool:
+        """Is lock state *ordinal* restorable given the retained copies?"""
+        state = self._state(txn)
+        return all(
+            copy.restorable_at(ordinal) for copy in self._all_copies(state)
+        )
+
+    def well_defined_states(self, txn: Transaction) -> list[int]:
+        return [
+            q
+            for q in range(txn.lock_count + 1)
+            if self.well_defined(txn, q)
+        ]
+
+    def choose_target(self, txn: Transaction, ideal_ordinal: int) -> int:
+        for q in range(min(ideal_ordinal, txn.lock_count), -1, -1):
+            if self.well_defined(txn, q):
+                return q
+        raise AssertionError("lock state 0 must be restorable")
+
+    def rollback(self, txn: Transaction, ordinal: int) -> None:
+        state = self._state(txn)
+        if not state.monitoring:
+            raise RollbackError(
+                f"{txn.txn_id} declared its last lock request; it cannot "
+                f"deadlock and must not be rolled back"
+            )
+        if not self.well_defined(txn, ordinal):
+            raise RollbackError(
+                f"lock state {ordinal} of {txn.txn_id} is not restorable; "
+                f"reachable states are {self.well_defined_states(txn)}"
+            )
+        undone = {record.entity for record in txn.records_from(ordinal)}
+        for entity in undone:
+            dropped = state.entities.pop(entity, None)
+            if dropped is not None:
+                state.budget_used -= len(dropped.retained)
+            state.shared_values.pop(entity, None)
+        if ordinal == 0:
+            for var in list(state.locals):
+                if var in txn.program.initial_locals:
+                    state.locals[var] = MultiCopy(
+                        var, base_value=txn.program.initial_locals[var]
+                    )
+                else:
+                    del state.locals[var]
+            state.budget_used = sum(
+                len(copy.retained) for copy in self._all_copies(state)
+            )
+            return
+        for copy in self._all_copies(state):
+            copy.rollback_to(ordinal)
+        state.budget_used = sum(
+            len(copy.retained) for copy in self._all_copies(state)
+        )
+
+    # -- accounting -----------------------------------------------------------
+
+    def copies_count(self, txn: Transaction) -> int:
+        """Stored values: one per variable plus the retained extras."""
+        state = self._state(txn)
+        return (
+            sum(copy.copies_stored for copy in self._all_copies(state))
+            + len(state.shared_values)
+        )

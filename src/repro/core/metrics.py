@@ -1,0 +1,126 @@
+"""Counters collected by the scheduler and the simulation engine.
+
+The paper's claims are about *progress lost to rollback* and *storage
+overhead*; :class:`Metrics` tracks exactly those, plus the raw event counts
+needed to describe a run (deadlocks, blocks, grants, completions).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RollbackEvent:
+    """One recorded rollback: who, how far, and what it cost."""
+
+    victim: str
+    requester: str
+    target_ordinal: int
+    ideal_ordinal: int
+    states_lost: int
+
+
+@dataclass
+class Metrics:
+    """Aggregated counters for one scheduler/simulation run."""
+
+    ops_executed: int = 0
+    locks_granted: int = 0
+    blocks: int = 0
+    deadlocks: int = 0
+    rollbacks: int = 0
+    total_rollbacks: int = 0
+    states_lost: int = 0
+    overshoot_states: int = 0
+    commits: int = 0
+    copies_peak: int = 0
+    rollback_events: list[RollbackEvent] = field(default_factory=list)
+    rollbacks_by_victim: Counter = field(default_factory=Counter)
+    preemptions: Counter = field(default_factory=Counter)
+    blocks_by_entity: Counter = field(default_factory=Counter)
+    deadlock_entities: Counter = field(default_factory=Counter)
+
+    def record_rollback(
+        self,
+        victim: str,
+        requester: str,
+        target_ordinal: int,
+        ideal_ordinal: int,
+        states_lost: int,
+    ) -> None:
+        """Record a rollback of *victim* caused by *requester*'s conflict.
+
+        ``overshoot_states`` accumulates the extra loss the strategy forced
+        beyond the ideal target (single-copy clamping, total restart); it is
+        zero under MCS.
+        """
+        self.rollbacks += 1
+        if target_ordinal == 0:
+            self.total_rollbacks += 1
+        self.states_lost += states_lost
+        self.rollback_events.append(
+            RollbackEvent(
+                victim, requester, target_ordinal, ideal_ordinal, states_lost
+            )
+        )
+        self.rollbacks_by_victim[victim] += 1
+        if victim != requester:
+            self.preemptions[(requester, victim)] += 1
+
+    def observe_copies(self, copies: int) -> None:
+        """Track the peak number of stored value copies across the system."""
+        self.copies_peak = max(self.copies_peak, copies)
+
+    def record_block(self, entity: str) -> None:
+        """A lock request on *entity* received a wait response."""
+        self.blocks += 1
+        self.blocks_by_entity[entity] += 1
+
+    def record_deadlock_arcs(self, entities) -> None:
+        """Entities on the arcs of a detected deadlock's cycles."""
+        for entity in entities:
+            self.deadlock_entities[entity] += 1
+
+    def hottest_entities(self, n: int = 5) -> list[tuple[str, int]]:
+        """The *n* entities most often blocked on (contention hot spots)."""
+        return self.blocks_by_entity.most_common(n)
+
+    @property
+    def partial_rollbacks(self) -> int:
+        """Rollbacks that did not restart the victim from scratch."""
+        return self.rollbacks - self.total_rollbacks
+
+    @property
+    def mean_states_lost(self) -> float:
+        """Average states lost per rollback (0.0 when none occurred)."""
+        if not self.rollbacks:
+            return 0.0
+        return self.states_lost / self.rollbacks
+
+    def mutual_preemption_pairs(self) -> set[tuple[str, str]]:
+        """Unordered pairs that preempted each other at least once each —
+        the signature of (potentially infinite) mutual preemption."""
+        pairs = set()
+        for (requester, victim), _count in self.preemptions.items():
+            if self.preemptions.get((victim, requester)):
+                pairs.add(tuple(sorted((requester, victim))))
+        return pairs
+
+    def summary(self) -> dict[str, float]:
+        """Flat dict of headline numbers (benchmark reporting)."""
+        return {
+            "ops_executed": self.ops_executed,
+            "locks_granted": self.locks_granted,
+            "blocks": self.blocks,
+            "deadlocks": self.deadlocks,
+            "rollbacks": self.rollbacks,
+            "partial_rollbacks": self.partial_rollbacks,
+            "total_rollbacks": self.total_rollbacks,
+            "states_lost": self.states_lost,
+            "overshoot_states": self.overshoot_states,
+            "mean_states_lost": round(self.mean_states_lost, 3),
+            "commits": self.commits,
+            "copies_peak": self.copies_peak,
+        }

@@ -1,0 +1,252 @@
+"""Atomic transaction operations and the expressions they evaluate.
+
+A transaction (paper §2) is a sequence of atomic operations, each performed
+on a single global entity or a local variable.  The operation vocabulary:
+
+* :func:`lock_shared` / :func:`lock_exclusive` — the paper's ``LS`` / ``LX``
+  lock requests.
+* :func:`unlock` — release an entity, installing the final local value of an
+  exclusive-locked entity as the new global value.
+* :func:`read` — copy the (local copy of the) entity's value into a local
+  variable.
+* :func:`write` — store an expression's value into the local copy of an
+  exclusive-locked entity.
+* :func:`assign` — compute a local variable.
+* :func:`declare_last_lock` — §5's optional declaration that no further
+  lock requests follow, letting the system stop monitoring the transaction.
+
+Expressions are either plain constants, :class:`Var`/:class:`EntityRef`
+references, combinators over those, or arbitrary callables receiving an
+:class:`EvalContext`.  Keeping expressions declarative makes transaction
+programs *re-executable*, which rollback requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Protocol, Union
+
+from ..locking.modes import EXCLUSIVE, SHARED, LockMode
+
+Value = Any
+
+
+class EvalContext(Protocol):
+    """What an expression may observe: locals and locked-entity copies."""
+
+    def local(self, name: str) -> Value:
+        """Current value of local variable *name*."""
+        ...  # pragma: no cover - protocol
+
+    def entity(self, name: str) -> Value:
+        """Current local-copy value of locked entity *name*."""
+        ...  # pragma: no cover - protocol
+
+
+class Expr:
+    """Base class for declarative expressions."""
+
+    def eval(self, ctx: EvalContext) -> Value:
+        raise NotImplementedError
+
+    def __add__(self, other: "Expression") -> "BinOp":
+        return BinOp(self, other, lambda a, b: a + b, "+")
+
+    def __sub__(self, other: "Expression") -> "BinOp":
+        return BinOp(self, other, lambda a, b: a - b, "-")
+
+    def __mul__(self, other: "Expression") -> "BinOp":
+        return BinOp(self, other, lambda a, b: a * b, "*")
+
+
+Expression = Union[Expr, Callable[[EvalContext], Value], Value]
+
+
+@dataclass
+class Const(Expr):
+    """A literal value."""
+
+    value: Value
+
+    def eval(self, ctx: EvalContext) -> Value:
+        return self.value
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass
+class Var(Expr):
+    """Reference to a local variable of the transaction."""
+
+    name: str
+
+    def eval(self, ctx: EvalContext) -> Value:
+        return ctx.local(self.name)
+
+    def __repr__(self) -> str:
+        return f"${self.name}"
+
+
+@dataclass
+class EntityRef(Expr):
+    """Reference to the local copy of a locked entity."""
+
+    name: str
+
+    def eval(self, ctx: EvalContext) -> Value:
+        return ctx.entity(self.name)
+
+    def __repr__(self) -> str:
+        return f"@{self.name}"
+
+
+@dataclass
+class BinOp(Expr):
+    """Binary combinator over two expressions."""
+
+    left: Expression
+    right: Expression
+    fn: Callable[[Value, Value], Value]
+    symbol: str = "?"
+
+    def eval(self, ctx: EvalContext) -> Value:
+        return self.fn(evaluate(self.left, ctx), evaluate(self.right, ctx))
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.symbol} {self.right!r})"
+
+
+def evaluate(expr: Expression, ctx: EvalContext) -> Value:
+    """Evaluate *expr* against *ctx*.
+
+    ``Expr`` instances evaluate themselves; bare callables are applied to
+    the context; anything else is a constant.
+    """
+    if isinstance(expr, Expr):
+        return expr.eval(ctx)
+    if callable(expr):
+        return expr(ctx)
+    return expr
+
+
+def var(name: str) -> Var:
+    """Shorthand constructor for :class:`Var`."""
+    return Var(name)
+
+
+def entity(name: str) -> EntityRef:
+    """Shorthand constructor for :class:`EntityRef`."""
+    return EntityRef(name)
+
+
+def const(value: Value) -> Const:
+    """Shorthand constructor for :class:`Const`."""
+    return Const(value)
+
+
+# ---------------------------------------------------------------------------
+# Operations
+# ---------------------------------------------------------------------------
+
+
+class Operation:
+    """Base class for the atomic operations of a transaction program."""
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return self.describe()
+
+
+@dataclass(repr=False)
+class Lock(Operation):
+    """A lock request for *entity_name* in *mode* (``LS`` or ``LX``)."""
+
+    entity_name: str
+    mode: LockMode
+
+    def describe(self) -> str:
+        return f"lock_{'x' if self.mode.is_exclusive else 's'}({self.entity_name})"
+
+
+@dataclass(repr=False)
+class Unlock(Operation):
+    """Release the lock on *entity_name* (begins the shrinking phase)."""
+
+    entity_name: str
+
+    def describe(self) -> str:
+        return f"unlock({self.entity_name})"
+
+
+@dataclass(repr=False)
+class Read(Operation):
+    """Read the local copy of *entity_name* into local variable *into*."""
+
+    entity_name: str
+    into: str
+
+    def describe(self) -> str:
+        return f"read({self.entity_name} -> ${self.into})"
+
+
+@dataclass(repr=False)
+class Write(Operation):
+    """Write *expr*'s value to the local copy of *entity_name*."""
+
+    entity_name: str
+    expr: Expression
+
+    def describe(self) -> str:
+        return f"write({self.entity_name} <- {self.expr!r})"
+
+
+@dataclass(repr=False)
+class Assign(Operation):
+    """Assign *expr*'s value to local variable *var_name*."""
+
+    var_name: str
+    expr: Expression
+
+    def describe(self) -> str:
+        return f"assign(${self.var_name} <- {self.expr!r})"
+
+
+@dataclass(repr=False)
+class DeclareLastLock(Operation):
+    """Declare that the transaction will issue no further lock requests."""
+
+    def describe(self) -> str:
+        return "declare_last_lock()"
+
+
+def lock_shared(entity_name: str) -> Lock:
+    """The paper's ``LS`` request."""
+    return Lock(entity_name, SHARED)
+
+
+def lock_exclusive(entity_name: str) -> Lock:
+    """The paper's ``LX`` request."""
+    return Lock(entity_name, EXCLUSIVE)
+
+
+def unlock(entity_name: str) -> Unlock:
+    return Unlock(entity_name)
+
+
+def read(entity_name: str, into: str) -> Read:
+    return Read(entity_name, into)
+
+
+def write(entity_name: str, expr: Expression) -> Write:
+    return Write(entity_name, expr)
+
+
+def assign(var_name: str, expr: Expression) -> Assign:
+    return Assign(var_name, expr)
+
+
+def declare_last_lock() -> DeclareLastLock:
+    return DeclareLastLock()

@@ -1,0 +1,170 @@
+"""Rollback strategy interface (§4 of the paper).
+
+A rollback strategy answers two questions for the concurrency control:
+
+1. *Where may a transaction be rolled back to?*  Total restart answers
+   "only the initial state"; MCS answers "any lock state"; the single-copy
+   (state-dependency-graph) strategy answers "any currently well-defined
+   lock state".
+2. *How are values stored and restored?*  The strategy owns the
+   transaction's local variables and local copies of locked entities, so
+   that the storage layout required by each implementation (one copy, or a
+   stack of copies) is encapsulated in one place.
+
+The scheduler calls the ``on_*`` notification hooks as the transaction
+executes and the ``read_*``/``write_*`` accessors for data operations;
+:meth:`RollbackStrategy.choose_target` clamps an ideal rollback target to
+one the strategy can actually reach, and :meth:`RollbackStrategy.rollback`
+performs the restoration.
+
+Lock-index convention (see :mod:`repro.graphs.state_dependency`): lock
+state ``k`` is the state immediately before the ``k``-th lock request; a
+rollback to lock state ``k`` undoes lock requests ``k..n`` and every
+subsequent operation, after which the transaction re-executes from the
+``k``-th lock request.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+from ..locking.modes import LockMode
+from .transaction import Transaction
+
+Value = Any
+
+
+class RollbackStrategy(abc.ABC):
+    """Abstract base for the three implementations of rollback."""
+
+    #: Short machine-readable name used by factories and benchmarks.
+    name: str = "abstract"
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @abc.abstractmethod
+    def begin(self, txn: Transaction) -> None:
+        """Initialise per-transaction storage (locals from the program)."""
+
+    @abc.abstractmethod
+    def on_finish(self, txn: Transaction) -> None:
+        """Discard per-transaction storage after commit."""
+
+    # -- notifications -------------------------------------------------------
+
+    def on_lock_request(self, txn: Transaction) -> None:
+        """A lock request is being issued (before grant or block)."""
+
+    @abc.abstractmethod
+    def on_lock_granted(
+        self,
+        txn: Transaction,
+        entity: str,
+        mode: LockMode,
+        global_value: Value,
+        ordinal: int,
+    ) -> None:
+        """A lock was granted; *global_value* is the entity's value now,
+        *ordinal* the lock index of the request."""
+
+    @abc.abstractmethod
+    def on_unlock(self, txn: Transaction, entity: str) -> None:
+        """The entity was unlocked (shrinking phase); drop its copy."""
+
+    def on_declare_last_lock(self, txn: Transaction) -> None:
+        """§5: the transaction declared it will issue no further lock
+        requests, so monitoring may stop (no more history is needed)."""
+
+    # -- data access --------------------------------------------------------
+
+    @abc.abstractmethod
+    def read_entity(self, txn: Transaction, entity: str) -> Value:
+        """Current local-copy value of a locked entity."""
+
+    @abc.abstractmethod
+    def write_entity(self, txn: Transaction, entity: str, value: Value) -> None:
+        """Write to the local copy of an exclusive-locked entity."""
+
+    @abc.abstractmethod
+    def read_local(self, txn: Transaction, var: str) -> Value:
+        """Current value of a local variable."""
+
+    @abc.abstractmethod
+    def write_local(self, txn: Transaction, var: str, value: Value) -> None:
+        """Assign a local variable."""
+
+    @abc.abstractmethod
+    def final_value(self, txn: Transaction, entity: str) -> Value:
+        """The value to install as the new global value at unlock/commit."""
+
+    # -- rollback ----------------------------------------------------------
+
+    @abc.abstractmethod
+    def choose_target(self, txn: Transaction, ideal_ordinal: int) -> int:
+        """Clamp *ideal_ordinal* to the nearest reachable lock state at or
+        below it.
+
+        Total restart returns 0; MCS returns the ideal unchanged; the
+        single-copy strategy returns the largest currently well-defined
+        lock index ``<= ideal_ordinal``.
+        """
+
+    @abc.abstractmethod
+    def rollback(self, txn: Transaction, ordinal: int) -> None:
+        """Restore all values to their state at lock state *ordinal* and
+        truncate history.
+
+        Must be called *before* ``txn.apply_rollback`` (the strategy reads
+        the lock records being undone to know which copies to discard).
+        Lock release is the scheduler's job, not the strategy's.
+        """
+
+    # -- accounting -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def copies_count(self, txn: Transaction) -> int:
+        """Number of stored value copies for *txn* (Theorem 3 accounting):
+        elements of MCS stacks, or single copies, including the captured
+        base values."""
+
+
+def make_strategy(name: str) -> RollbackStrategy:
+    """Factory by name.
+
+    Accepted names: ``"total"``, ``"mcs"``, ``"single-copy"`` (alias
+    ``"sdg"``), and ``"k-copy"`` with an optional budget suffix —
+    ``"k-copy:3"`` for three retained copies, ``"k-copy:inf"`` for an
+    unbounded budget (``"k-copy"`` alone means a budget of 1).
+    """
+    from .k_copy import KCopyStrategy
+    from .mcs import MultiLockCopyStrategy
+    from .single_copy import SingleCopyStrategy
+    from .total import TotalRestartStrategy
+    from .undo_log import UndoLogStrategy
+
+    if name == "k-copy" or name.startswith("k-copy:"):
+        _base, _sep, suffix = name.partition(":")
+        if not suffix:
+            return KCopyStrategy(extra_copies=1)
+        if suffix == "inf":
+            return KCopyStrategy(extra_copies=None)
+        try:
+            return KCopyStrategy(extra_copies=int(suffix))
+        except ValueError:
+            raise ValueError(
+                f"bad k-copy budget {suffix!r}; use an integer or 'inf'"
+            ) from None
+    strategies = {
+        "total": TotalRestartStrategy,
+        "mcs": MultiLockCopyStrategy,
+        "single-copy": SingleCopyStrategy,
+        "sdg": SingleCopyStrategy,
+        "undo-log": UndoLogStrategy,
+    }
+    if name not in strategies:
+        raise ValueError(
+            f"unknown strategy {name!r}; choose from "
+            f"{sorted(strategies) + ['k-copy[:N|:inf]']}"
+        )
+    return strategies[name]()

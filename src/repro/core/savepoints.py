@@ -1,0 +1,184 @@
+"""Savepoints: an application-facing view of partial rollback.
+
+The paper's partial rollback is the direct ancestor of the *savepoints*
+later standardised in SQL: named points inside a transaction to which the
+application (not just the deadlock resolver) can roll back.  In the
+paper's model every lock state is a potential savepoint; which ones are
+actually reachable depends on the active rollback strategy — all of them
+under MCS, the well-defined ones under the single-copy strategy, only the
+beginning under total restart.
+
+:class:`SavepointManager` packages that as an API over a running
+:class:`~repro.core.scheduler.Scheduler`:
+
+>>> manager = SavepointManager(scheduler)
+>>> sp = manager.create("T1", "before-risky-part")   # at the current lock state
+>>> ...                                              # more execution
+>>> manager.reachable("T1")                          # what can be restored
+>>> manager.rollback_to("T1", "before-risky-part")   # partial rollback
+
+A savepoint created at lock state *k* is *reachable* while the strategy
+can still reproduce lock state *k*; under the single-copy strategy later
+writes may invalidate it (exactly the paper's undefined states), in which
+case rolling back to it raises and the application may choose
+:meth:`SavepointManager.rollback_to_nearest` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import RollbackError
+from .scheduler import Scheduler
+from .transaction import Transaction, TxnStatus
+
+TxnId = str
+
+
+@dataclass(frozen=True)
+class Savepoint:
+    """A named marker at a transaction's lock state."""
+
+    txn_id: TxnId
+    name: str
+    lock_ordinal: int
+    state_index: int
+
+    def __str__(self) -> str:
+        return (
+            f"savepoint {self.name!r} of {self.txn_id} at lock state "
+            f"{self.lock_ordinal} (state {self.state_index})"
+        )
+
+
+class SavepointManager:
+    """Create, query, and roll back to savepoints on live transactions."""
+
+    def __init__(self, scheduler: Scheduler) -> None:
+        self._scheduler = scheduler
+        self._savepoints: dict[TxnId, dict[str, Savepoint]] = {}
+
+    # -- creation ----------------------------------------------------------
+
+    def create(self, txn_id: TxnId, name: str) -> Savepoint:
+        """Mark the transaction's current lock state as a savepoint.
+
+        The savepoint denotes the most recent lock state — the paper's
+        natural rollback granularity.  Creating a savepoint before any
+        lock request marks the initial state (total rollback target).
+        """
+        txn = self._transaction(txn_id)
+        if txn.done:
+            raise RollbackError(f"{txn_id} already committed")
+        ordinal = txn.lock_count
+        savepoint = Savepoint(
+            txn_id=txn_id,
+            name=name,
+            lock_ordinal=ordinal,
+            state_index=txn.lock_state_state_index(ordinal),
+        )
+        per_txn = self._savepoints.setdefault(txn_id, {})
+        if name in per_txn:
+            raise ValueError(
+                f"savepoint {name!r} already exists on {txn_id}"
+            )
+        per_txn[name] = savepoint
+        return savepoint
+
+    # -- queries -----------------------------------------------------------
+
+    def savepoints(self, txn_id: TxnId) -> list[Savepoint]:
+        """All live savepoints of *txn_id*, oldest first."""
+        return sorted(
+            self._savepoints.get(txn_id, {}).values(),
+            key=lambda sp: sp.lock_ordinal,
+        )
+
+    def get(self, txn_id: TxnId, name: str) -> Savepoint:
+        per_txn = self._savepoints.get(txn_id, {})
+        if name not in per_txn:
+            raise KeyError(f"no savepoint {name!r} on {txn_id}")
+        return per_txn[name]
+
+    def is_reachable(self, savepoint: Savepoint) -> bool:
+        """Can the active strategy restore this savepoint right now?"""
+        txn = self._transaction(savepoint.txn_id)
+        if savepoint.lock_ordinal > txn.lock_count:
+            return False  # invalidated by an earlier deeper rollback
+        target = self._scheduler.strategy.choose_target(
+            txn, savepoint.lock_ordinal
+        )
+        return target == savepoint.lock_ordinal
+
+    def reachable(self, txn_id: TxnId) -> list[Savepoint]:
+        """The savepoints of *txn_id* that can currently be restored."""
+        return [
+            sp for sp in self.savepoints(txn_id) if self.is_reachable(sp)
+        ]
+
+    # -- rollback ----------------------------------------------------------
+
+    def rollback_to(self, txn_id: TxnId, name: str) -> Savepoint:
+        """Partial rollback to the named savepoint.
+
+        Raises :class:`~repro.errors.RollbackError` when the strategy can
+        no longer reproduce the savepoint's lock state (single-copy
+        undefined state, or total-restart strategy with a non-zero
+        target).
+        """
+        savepoint = self.get(txn_id, name)
+        txn = self._transaction(txn_id)
+        if txn.status is TxnStatus.BLOCKED:
+            # Rolling back a waiter is legal (the scheduler cancels the
+            # pending request) — the paper does exactly this to victims.
+            pass
+        if not self.is_reachable(savepoint):
+            raise RollbackError(
+                f"{savepoint} is not reachable under the "
+                f"{self._scheduler.strategy.name!r} strategy"
+            )
+        self._scheduler.force_rollback(
+            txn_id, savepoint.lock_ordinal, requester=txn_id,
+            ideal_ordinal=savepoint.lock_ordinal,
+        )
+        self._discard_above(txn_id, savepoint.lock_ordinal)
+        return savepoint
+
+    def rollback_to_nearest(self, txn_id: TxnId, name: str) -> int:
+        """Roll back to the named savepoint or, if unreachable, to the
+        nearest restorable lock state below it (the §4 clamping rule).
+        Returns the lock ordinal actually restored."""
+        savepoint = self.get(txn_id, name)
+        txn = self._transaction(txn_id)
+        ideal = min(savepoint.lock_ordinal, txn.lock_count)
+        target = self._scheduler.strategy.choose_target(txn, ideal)
+        self._scheduler.force_rollback(
+            txn_id, target, requester=txn_id, ideal_ordinal=ideal
+        )
+        self._discard_above(txn_id, target)
+        return target
+
+    def release(self, txn_id: TxnId, name: str) -> None:
+        """Drop a savepoint without rolling back (SQL ``RELEASE``)."""
+        per_txn = self._savepoints.get(txn_id, {})
+        if name not in per_txn:
+            raise KeyError(f"no savepoint {name!r} on {txn_id}")
+        del per_txn[name]
+
+    def on_commit(self, txn_id: TxnId) -> None:
+        """Discard all savepoints of a committed transaction."""
+        self._savepoints.pop(txn_id, None)
+
+    # -- internals ----------------------------------------------------------
+
+    def _transaction(self, txn_id: TxnId) -> Transaction:
+        return self._scheduler.transaction(txn_id)
+
+    def _discard_above(self, txn_id: TxnId, ordinal: int) -> None:
+        """Savepoints above the restored lock state no longer denote
+        reachable history; drop them (SQL semantics)."""
+        per_txn = self._savepoints.get(txn_id, {})
+        for name in [
+            n for n, sp in per_txn.items() if sp.lock_ordinal > ordinal
+        ]:
+            del per_txn[name]

@@ -1,0 +1,478 @@
+"""The database concurrency control (paper §2's "system").
+
+:class:`Scheduler` owns the database, the two-phase lock manager, the
+active rollback strategy, and the victim policy.  It executes transaction
+programs one atomic operation at a time (the interleaving is chosen by the
+caller — directly, or through :mod:`repro.simulation`), responding to each
+lock request per the paper's three rules:
+
+1. grant if compatible with current holders,
+2. otherwise make the requester wait,
+3. if the wait creates a deadlock, roll back victims until it is broken.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import (
+    LockError,
+    SimulationError,
+    UnknownTransactionError,
+)
+from ..locking.manager import LockManager
+from ..locking.modes import LockMode
+from ..locking.table import Grant
+from ..storage.database import Database
+from .detection import Deadlock, DeadlockDetector
+from .metrics import Metrics
+from .operations import (
+    Assign,
+    DeclareLastLock,
+    EvalContext,
+    Lock,
+    Read,
+    Unlock,
+    Write,
+    evaluate,
+)
+from .rollback import RollbackStrategy, make_strategy
+from .transaction import Transaction, TransactionProgram, TxnStatus
+from .victim import RollbackAction, VictimContext, VictimPolicy, make_policy
+
+TxnId = str
+
+
+class StepOutcome(enum.Enum):
+    """What happened when the scheduler stepped a transaction."""
+
+    ADVANCED = "advanced"
+    GRANTED = "granted"
+    BLOCKED = "blocked"
+    DEADLOCK = "deadlock"
+    COMMITTED = "committed"
+    WAITING = "waiting"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass
+class StepResult:
+    """Outcome of one :meth:`Scheduler.step` call."""
+
+    txn_id: TxnId
+    outcome: StepOutcome
+    deadlock: Deadlock | None = None
+    actions: list[RollbackAction] = field(default_factory=list)
+
+
+class _StrategyContext(EvalContext):
+    """Adapter exposing a transaction's values to expression evaluation."""
+
+    def __init__(self, scheduler: "Scheduler", txn: Transaction) -> None:
+        self._scheduler = scheduler
+        self._txn = txn
+
+    def local(self, name: str):
+        return self._scheduler.strategy.read_local(self._txn, name)
+
+    def entity(self, name: str):
+        return self._scheduler.strategy.read_entity(self._txn, name)
+
+    def __getitem__(self, name: str):
+        """Sugar: ``ctx["x"]`` reads local variable ``x``."""
+        return self.local(name)
+
+
+class Scheduler:
+    """Two-phase-locking concurrency control with partial-rollback deadlock
+    removal.
+
+    Parameters
+    ----------
+    database:
+        The global entity store.
+    strategy:
+        Rollback strategy instance or factory name (``"total"``, ``"mcs"``,
+        ``"single-copy"``).  Defaults to MCS.
+    policy:
+        Victim policy instance or factory name (``"min-cost"``,
+        ``"ordered-min-cost"``, ``"requester"``, ``"youngest"``,
+        ``"oldest"``).  Defaults to ordered min-cost (the livelock-free
+        optimiser of Theorem 2).
+    check_consistency:
+        When True (default), registered database constraints are checked
+        after every commit, so serializability bugs fail loudly.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        strategy: RollbackStrategy | str = "mcs",
+        policy: VictimPolicy | str = "ordered-min-cost",
+        check_consistency: bool = True,
+    ) -> None:
+        self.database = database
+        self.strategy = (
+            make_strategy(strategy) if isinstance(strategy, str) else strategy
+        )
+        self.policy = make_policy(policy) if isinstance(policy, str) else policy
+        self.lock_manager = LockManager()
+        self.detector = DeadlockDetector(self.lock_manager.table)
+        self.metrics = Metrics()
+        self.transactions: dict[TxnId, Transaction] = {}
+        self._check_consistency = check_consistency
+        self._entry_counter = 0
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, program: TransactionProgram) -> Transaction:
+        """Admit a transaction program into the executing environment."""
+        if program.txn_id in self.transactions:
+            raise SimulationError(
+                f"transaction id {program.txn_id!r} already registered"
+            )
+        self._entry_counter += 1
+        txn = Transaction(program=program, entry_order=self._entry_counter)
+        self.transactions[program.txn_id] = txn
+        self.strategy.begin(txn)
+        return txn
+
+    def transaction(self, txn_id: TxnId) -> Transaction:
+        if txn_id not in self.transactions:
+            raise UnknownTransactionError(f"unknown transaction {txn_id!r}")
+        return self.transactions[txn_id]
+
+    def runnable(self) -> list[TxnId]:
+        """Transactions that can be stepped right now (READY, not done)."""
+        return [
+            txn_id
+            for txn_id, txn in self.transactions.items()
+            if txn.status is TxnStatus.READY
+        ]
+
+    @property
+    def all_done(self) -> bool:
+        return all(txn.done for txn in self.transactions.values())
+
+    # -- execution --------------------------------------------------------
+
+    def step(self, txn_id: TxnId) -> StepResult:
+        """Execute one atomic operation of *txn_id*.
+
+        Stepping a blocked transaction is a no-op returning ``WAITING``
+        (it will resume automatically when its lock is granted).
+        """
+        txn = self.transaction(txn_id)
+        if txn.status is TxnStatus.BLOCKED:
+            return StepResult(txn_id, StepOutcome.WAITING)
+        if txn.status is TxnStatus.COMMITTED:
+            raise SimulationError(f"{txn_id} already committed")
+        op = txn.current_operation()
+        if op is None:
+            self._commit(txn)
+            return StepResult(txn_id, StepOutcome.COMMITTED)
+        self.metrics.ops_executed += 1
+        txn.ops_executed_total += 1
+        if isinstance(op, Lock):
+            result = self._execute_lock(txn, op)
+        elif isinstance(op, Unlock):
+            self._execute_unlock(txn, op)
+            result = StepResult(txn_id, StepOutcome.ADVANCED)
+        elif isinstance(op, Read):
+            value = self.strategy.read_entity(txn, op.entity_name)
+            self.strategy.write_local(txn, op.into, value)
+            txn.pc += 1
+            txn.program.on_op_completed(txn.pc - 1, value)
+            result = StepResult(txn_id, StepOutcome.ADVANCED)
+        elif isinstance(op, Write):
+            ctx = _StrategyContext(self, txn)
+            self.strategy.write_entity(
+                txn, op.entity_name, evaluate(op.expr, ctx)
+            )
+            txn.pc += 1
+            txn.program.on_op_completed(txn.pc - 1, None)
+            result = StepResult(txn_id, StepOutcome.ADVANCED)
+        elif isinstance(op, Assign):
+            ctx = _StrategyContext(self, txn)
+            value = evaluate(op.expr, ctx)
+            self.strategy.write_local(txn, op.var_name, value)
+            txn.pc += 1
+            txn.program.on_op_completed(txn.pc - 1, value)
+            result = StepResult(txn_id, StepOutcome.ADVANCED)
+        elif isinstance(op, DeclareLastLock):
+            self.lock_manager.declare_last_lock(txn.txn_id)
+            self.strategy.on_declare_last_lock(txn)
+            txn.pc += 1
+            txn.program.on_op_completed(txn.pc - 1, None)
+            result = StepResult(txn_id, StepOutcome.ADVANCED)
+        else:  # pragma: no cover - programs are validated at construction
+            raise SimulationError(f"unknown operation {op!r}")
+        self.metrics.observe_copies(self._copies_total())
+        return result
+
+    def run_until_quiescent(self, max_steps: int = 1_000_000) -> None:
+        """Round-robin driver: step every runnable transaction until all
+        commit.  Deterministic; used by tests and small examples (the
+        simulation engine offers richer interleavings)."""
+        steps = 0
+        while not self.all_done:
+            runnable = self.runnable()
+            if not runnable:
+                raise SimulationError(
+                    "no runnable transactions but not all committed: "
+                    "undetected deadlock or lost wakeup"
+                )
+            for txn_id in runnable:
+                if self.transaction(txn_id).status is TxnStatus.READY:
+                    self.step(txn_id)
+                steps += 1
+                if steps > max_steps:
+                    raise SimulationError(f"exceeded {max_steps} steps")
+
+    # -- lock handling ------------------------------------------------------
+
+    def _execute_lock(self, txn: Transaction, op: Lock) -> StepResult:
+        record = txn.record_lock_request(op.entity_name, op.mode)
+        self.strategy.on_lock_request(txn)
+        granted = self.lock_manager.lock(txn.txn_id, op.entity_name, op.mode)
+        if granted:
+            self._complete_grant(
+                Grant(txn.txn_id, op.entity_name, op.mode)
+            )
+            return StepResult(txn.txn_id, StepOutcome.GRANTED)
+        txn.status = TxnStatus.BLOCKED
+        self.metrics.record_block(op.entity_name)
+        deadlock = self._detect(txn.txn_id)
+        if deadlock is None:
+            return StepResult(txn.txn_id, StepOutcome.BLOCKED)
+        self.metrics.deadlocks += 1
+        self.metrics.record_deadlock_arcs(
+            arc.entity
+            for cycle in deadlock.cycles
+            for arc in deadlock.graph.cycle_arcs(cycle)
+        )
+        actions = self._resolve(deadlock)
+        if len(deadlock.cycles) >= self.detector.cycle_limit:
+            # The enumeration was truncated: the victim cut covered only
+            # the enumerated cycles, so residual cycles may remain.  (When
+            # the cap was not hit the cut provably covered every cycle —
+            # all of them pass through the requester — and the graph is
+            # acyclic again.)
+            actions += self._resolve_residual()
+        return StepResult(
+            txn.txn_id, StepOutcome.DEADLOCK, deadlock=deadlock,
+            actions=actions,
+        )
+
+    def _complete_grant(self, grant: Grant) -> None:
+        txn = self.transaction(grant.txn)
+        record = txn.pending_request()
+        if record is None or record.entity != grant.entity:
+            raise LockError(
+                f"grant of {grant.entity!r} to {grant.txn} does not match "
+                f"its pending request"
+            )
+        record.granted = True
+        self.metrics.locks_granted += 1
+        self.strategy.on_lock_granted(
+            txn,
+            grant.entity,
+            grant.mode,
+            self.database[grant.entity],
+            record.ordinal,
+        )
+        txn.status = TxnStatus.READY
+        txn.pc += 1
+        txn.program.on_op_completed(txn.pc - 1, None)
+
+    def _execute_unlock(self, txn: Transaction, op: Unlock) -> None:
+        mode = self.lock_manager.holds(txn.txn_id, op.entity_name)
+        if mode is None:
+            raise LockError(
+                f"{txn.txn_id} holds no lock on {op.entity_name!r}"
+            )
+        if mode is LockMode.EXCLUSIVE:
+            self.database[op.entity_name] = self.strategy.final_value(
+                txn, op.entity_name
+            )
+        grants = self.lock_manager.unlock(txn.txn_id, op.entity_name)
+        self.strategy.on_unlock(txn, op.entity_name)
+        txn.pc += 1
+        txn.program.on_op_completed(txn.pc - 1, None)
+        for grant in grants:
+            self._complete_grant(grant)
+
+    def _commit(self, txn: Transaction) -> None:
+        """Terminate a transaction: install exclusive values it never
+        explicitly unlocked, release everything, check consistency."""
+        for entity, mode in self.lock_manager.locks_held(txn.txn_id).items():
+            if mode is LockMode.EXCLUSIVE:
+                self.database[entity] = self.strategy.final_value(txn, entity)
+        grants = self.lock_manager.finish(txn.txn_id)
+        self.strategy.on_finish(txn)
+        txn.status = TxnStatus.COMMITTED
+        self.metrics.commits += 1
+        for grant in grants:
+            self._complete_grant(grant)
+        if self._check_consistency and self._constraint_quiescent():
+            self.database.check_consistency()
+
+    def _constraint_quiescent(self) -> bool:
+        """Whether consistency constraints are meaningful right now.
+
+        Under 2PL a transaction in its shrinking phase may have installed
+        some of its writes and not others; global constraints are only
+        required to hold when no live transaction still holds an exclusive
+        lock (every update is then fully applied or not at all).
+        """
+        for txn in self.transactions.values():
+            if txn.done:
+                continue
+            held = self.lock_manager.locks_held(txn.txn_id)
+            if any(mode is LockMode.EXCLUSIVE for mode in held.values()):
+                return False
+        return True
+
+    # -- deadlock resolution ---------------------------------------------------
+
+    def _detect(self, requester: TxnId) -> Deadlock | None:
+        """Deadlock check after *requester* blocked.
+
+        Centralised systems see the whole concurrency graph; subclasses
+        (the distributed scheduler) may restrict visibility.
+        """
+        return self.detector.check(requester)
+
+    def _resolve(self, deadlock: Deadlock) -> list[RollbackAction]:
+        ctx = VictimContext(deadlock, self.transactions, self.strategy)
+        actions = self.policy.select(ctx)
+        for action in actions:
+            self._apply_rollback(action, deadlock)
+        return actions
+
+    def _resolve_residual(self) -> list[RollbackAction]:
+        """Break any cycles a capped resolution left behind.
+
+        Cycle enumeration through the requester is bounded (the exact set
+        of simple cycles can be exponential at high contention), so the
+        victim cut may miss cycles beyond the cap.  Residual cycles would
+        otherwise go permanently undetected — later requests never pass
+        through them.  This pass sweeps the whole graph after each
+        resolution; it terminates because resolutions only remove arcs.
+        The nominal requester of a residual deadlock is its youngest
+        member, preserving the Theorem 2 ordering discipline (the ordered
+        policy then rolls the youngest back, never an elder).
+        """
+        actions: list[RollbackAction] = []
+        while True:
+            graph = self.detector.snapshot()
+            cycle = graph.find_any_cycle()
+            if cycle is None:
+                return actions
+            nominal = max(
+                cycle, key=lambda t: self.transactions[t].entry_order
+            )
+            residual = Deadlock(
+                requester=nominal,
+                cycles=graph.cycles_through(nominal, limit=500),
+                graph=graph,
+            )
+            self.metrics.deadlocks += 1
+            actions += self._resolve(residual)
+
+    def _apply_rollback(
+        self, action: RollbackAction, deadlock: Deadlock
+    ) -> None:
+        txn = self.transaction(action.txn_id)
+        ideal = self._ideal_target(txn, deadlock)
+        self.force_rollback(
+            action.txn_id,
+            action.target_ordinal,
+            requester=deadlock.requester,
+            ideal_ordinal=ideal,
+        )
+
+    def force_rollback(
+        self,
+        txn_id: TxnId,
+        target_ordinal: int,
+        requester: TxnId,
+        ideal_ordinal: int | None = None,
+    ) -> None:
+        """Roll *txn_id* back to lock state *target_ordinal*.
+
+        Used by deadlock resolution and by external mechanisms (the
+        distributed layer's timestamp rules and timeouts).  Cancels any
+        pending request, releases the undone locks without installing
+        values, restores values through the strategy, rewinds the
+        transaction, and records metrics.  *requester* is the transaction
+        whose conflict caused the rollback (the victim itself for
+        self-inflicted rollbacks).
+        """
+        txn = self.transaction(txn_id)
+        ideal = target_ordinal if ideal_ordinal is None else ideal_ordinal
+        held_to_release = [
+            record.entity
+            for record in txn.records_from(target_ordinal)
+            if record.granted
+        ]
+        states_lost = txn.state_index - txn.lock_state_state_index(
+            target_ordinal
+        )
+        # Extra loss forced by the strategy clamping below the ideal target
+        # (zero under MCS; the whole locked prefix under total restart).
+        # Must be computed before the lock records are truncated.
+        if ideal > target_ordinal:
+            self.metrics.overshoot_states += txn.lock_state_state_index(
+                ideal
+            ) - txn.lock_state_state_index(target_ordinal)
+        grants = self.lock_manager.cancel_wait(txn.txn_id)
+        grants += self.lock_manager.release_for_rollback(
+            txn.txn_id, held_to_release
+        )
+        self.strategy.rollback(txn, target_ordinal)
+        txn.apply_rollback(target_ordinal)
+        self.metrics.record_rollback(
+            victim=txn_id,
+            requester=requester,
+            target_ordinal=target_ordinal,
+            ideal_ordinal=ideal,
+            states_lost=states_lost,
+        )
+        for grant in grants:
+            self._complete_grant(grant)
+
+    @staticmethod
+    def _ideal_target(txn: Transaction, deadlock: Deadlock) -> int:
+        """The unclamped target (for overshoot accounting)."""
+        entities = deadlock.waited_entities_of(txn.txn_id)
+        if not entities:
+            return 0
+        return min(
+            txn.record_for_entity(entity).ordinal for entity in entities
+        )
+
+    # -- accounting -----------------------------------------------------------
+
+    def _copies_total(self) -> int:
+        return sum(
+            self.strategy.copies_count(txn)
+            for txn in self.transactions.values()
+            if not txn.done
+        )
+
+    def concurrency_graph(self, include_queue_edges: bool = True):
+        """Snapshot of the current waits-for graph.
+
+        Pass ``include_queue_edges=False`` for the paper's pure conflict
+        relation (the one Theorem 1's forest criterion applies to).
+        """
+        from ..graphs.concurrency import ConcurrencyGraph
+
+        return ConcurrencyGraph.from_lock_table(
+            self.lock_manager.table,
+            include_queue_edges=include_queue_edges,
+        )

@@ -1,0 +1,266 @@
+"""Victim selection policies (§3.1–§3.2).
+
+Given a detected :class:`~repro.core.detection.Deadlock`, a policy chooses
+the set of transactions to roll back and how far.  The cost of rolling a
+transaction back is the number of states it loses; the *ideal* target for a
+victim is the latest lock state at which it holds none of the entities the
+other deadlocked transactions wait for, and the active rollback strategy
+may clamp that target further down (single-copy strategies can only reach
+well-defined states; total restart only state 0).
+
+Policies implemented:
+
+``min-cost``
+    The paper's unconstrained optimisation: pick the cheapest set of
+    victims whose rollback breaks every cycle (exact minimum-cost vertex
+    cut for small deadlocks, greedy otherwise).  Vulnerable to *potentially
+    infinite mutual preemption* (Figure 2).
+
+``ordered-min-cost``
+    Theorem 2's fix: only transactions below the requester in a
+    time-invariant partial order (here: entry order — later entrants are
+    "below" earlier... concretely ``allowed = {T_i : order(T_i) >
+    order(requester)} ∪ {requester}``) may be preempted; the cheapest
+    allowed cover wins.  Because every cycle passes through the requester,
+    the requester alone is always a feasible cover, so selection never
+    fails.
+
+``requester``
+    Always roll back the conflict-causing transaction — the simplest safe
+    choice (§3.2 notes it removes *all* cycles at once).
+
+``youngest`` / ``oldest``
+    Classic baselines: prefer the latest/earliest entrant among deadlock
+    members, adding victims until every cycle is covered.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from ..errors import DeadlockUnresolvableError
+from ..graphs import algorithms
+from .detection import Deadlock
+from .rollback import RollbackStrategy
+from .transaction import Transaction
+
+TxnId = str
+
+
+@dataclass(frozen=True)
+class RollbackAction:
+    """A chosen victim and the lock state it will be rolled back to."""
+
+    txn_id: TxnId
+    target_ordinal: int
+    cost: int
+
+    def __str__(self) -> str:
+        return (
+            f"rollback {self.txn_id} -> lock state {self.target_ordinal} "
+            f"(cost {self.cost})"
+        )
+
+
+class VictimContext:
+    """Everything a policy may consult when choosing victims.
+
+    Computes, per deadlocked transaction, the rollback action that would
+    remove its outgoing cycle arcs: the ideal target (just before it locked
+    the earliest entity other members wait for), clamped by the strategy,
+    costed in lost states.
+    """
+
+    def __init__(
+        self,
+        deadlock: Deadlock,
+        transactions: Mapping[TxnId, Transaction],
+        strategy: RollbackStrategy,
+    ) -> None:
+        self.deadlock = deadlock
+        self.transactions = transactions
+        self.strategy = strategy
+        self._actions: dict[TxnId, RollbackAction] = {}
+
+    @property
+    def requester(self) -> TxnId:
+        return self.deadlock.requester
+
+    def entry_order(self, txn_id: TxnId) -> int:
+        return self.transactions[txn_id].entry_order
+
+    def action_for(self, txn_id: TxnId) -> RollbackAction:
+        """The rollback action that takes *txn_id* out of the deadlock."""
+        if txn_id in self._actions:
+            return self._actions[txn_id]
+        txn = self.transactions[txn_id]
+        entities = self.deadlock.waited_entities_of(txn_id)
+        if not entities:
+            raise DeadlockUnresolvableError(
+                f"{txn_id} holds nothing the deadlock waits for"
+            )
+        ideal = min(
+            txn.record_for_entity(entity).ordinal for entity in entities
+        )
+        target = self.strategy.choose_target(txn, ideal)
+        cost = txn.state_index - txn.lock_state_state_index(target)
+        action = RollbackAction(txn_id, target, cost)
+        self._actions[txn_id] = action
+        return action
+
+    def cost_of(self, txn_id: TxnId) -> int:
+        return self.action_for(txn_id).cost
+
+
+class VictimPolicy(abc.ABC):
+    """Strategy interface for choosing deadlock victims."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def select(self, ctx: VictimContext) -> list[RollbackAction]:
+        """Return rollback actions whose application breaks every cycle."""
+
+    def _validated(
+        self, ctx: VictimContext, victims: set[TxnId]
+    ) -> list[RollbackAction]:
+        """Sanity-check that *victims* hit every cycle, then build actions."""
+        for cycle in ctx.deadlock.cycles:
+            if not victims & set(cycle):
+                raise DeadlockUnresolvableError(
+                    f"victim set {sorted(victims)} misses cycle {cycle}"
+                )
+        return [ctx.action_for(txn_id) for txn_id in sorted(victims)]
+
+
+#: Above this many distinct deadlock members the exact cut solver is skipped
+#: in favour of the greedy heuristic (the exact problem is NP-complete).
+EXACT_CUT_LIMIT = 12
+
+
+class MinCostPolicy(VictimPolicy):
+    """Unconstrained minimum-cost victim selection (§3.1/§3.2 optimum)."""
+
+    name = "min-cost"
+
+    def __init__(self, exact_limit: int = EXACT_CUT_LIMIT) -> None:
+        self._exact_limit = exact_limit
+
+    def select(self, ctx: VictimContext) -> list[RollbackAction]:
+        members = ctx.deadlock.members
+        if len(members) <= self._exact_limit:
+            victims = algorithms.min_cost_vertex_cut(
+                ctx.deadlock.cycles, cost=ctx.cost_of
+            )
+        else:
+            victims = algorithms.greedy_vertex_cut(
+                ctx.deadlock.cycles, cost=ctx.cost_of
+            )
+        return self._validated(ctx, victims)
+
+
+class OrderedMinCostPolicy(VictimPolicy):
+    """Theorem 2: min-cost selection restricted by a time-invariant order.
+
+    A transaction ``T_i`` may be preempted by a conflict caused by ``T_j``
+    only if ``T_i`` entered the system after ``T_j`` (``T_i ω T_j``); the
+    requester may always roll itself back.  The order is time-invariant, so
+    no set of transactions can mutually preempt each other forever.
+    """
+
+    name = "ordered-min-cost"
+
+    def __init__(self, exact_limit: int = EXACT_CUT_LIMIT) -> None:
+        self._exact_limit = exact_limit
+
+    def select(self, ctx: VictimContext) -> list[RollbackAction]:
+        requester_order = ctx.entry_order(ctx.requester)
+        younger = {
+            txn_id
+            for txn_id in ctx.deadlock.members
+            if ctx.entry_order(txn_id) > requester_order
+        }
+        cycles = ctx.deadlock.cycles
+        # Prefer the cheapest cover among strictly-younger members: every
+        # preemption arc then runs old -> young, so no set of transactions
+        # can preempt each other forever (Theorem 2).  Only when the
+        # requester is effectively the youngest on its cycles does it roll
+        # itself back — a fallback that always exists because every cycle
+        # passes through the requester.
+        victims: set[TxnId] | None = None
+        if younger and len(younger) <= self._exact_limit:
+            try:
+                victims = algorithms.min_cost_vertex_cut(
+                    cycles, cost=ctx.cost_of, candidates=younger
+                )
+            except ValueError:
+                victims = None
+        if victims is None:
+            victims = {ctx.requester}
+        return self._validated(ctx, victims)
+
+
+class RequesterPolicy(VictimPolicy):
+    """Always roll back the transaction that caused the conflict."""
+
+    name = "requester"
+
+    def select(self, ctx: VictimContext) -> list[RollbackAction]:
+        return self._validated(ctx, {ctx.requester})
+
+
+class _EntryOrderPolicy(VictimPolicy):
+    """Common machinery for youngest/oldest baselines: repeatedly take the
+    preferred member among transactions on still-uncovered cycles."""
+
+    def __init__(self, prefer_latest: bool) -> None:
+        self._prefer_latest = prefer_latest
+
+    def select(self, ctx: VictimContext) -> list[RollbackAction]:
+        remaining = [list(cycle) for cycle in ctx.deadlock.cycles]
+        victims: set[TxnId] = set()
+        while remaining:
+            pool = {txn_id for cycle in remaining for txn_id in cycle}
+            key: Callable[[TxnId], tuple] = lambda t: (ctx.entry_order(t), t)
+            chosen = max(pool, key=key) if self._prefer_latest else min(
+                pool, key=key
+            )
+            victims.add(chosen)
+            remaining = [c for c in remaining if chosen not in c]
+        return self._validated(ctx, victims)
+
+
+class YoungestPolicy(_EntryOrderPolicy):
+    """Prefer the most recent entrant (classic 'abort the youngest')."""
+
+    name = "youngest"
+
+    def __init__(self) -> None:
+        super().__init__(prefer_latest=True)
+
+
+class OldestPolicy(_EntryOrderPolicy):
+    """Prefer the earliest entrant (pathological baseline for comparison)."""
+
+    name = "oldest"
+
+    def __init__(self) -> None:
+        super().__init__(prefer_latest=False)
+
+
+def make_policy(name: str) -> VictimPolicy:
+    """Factory for victim policies by :attr:`VictimPolicy.name`."""
+    policies: dict[str, Callable[[], VictimPolicy]] = {
+        "min-cost": MinCostPolicy,
+        "ordered-min-cost": OrderedMinCostPolicy,
+        "requester": RequesterPolicy,
+        "youngest": YoungestPolicy,
+        "oldest": OldestPolicy,
+    }
+    if name not in policies:
+        raise ValueError(
+            f"unknown victim policy {name!r}; choose from {sorted(policies)}"
+        )
+    return policies[name]()

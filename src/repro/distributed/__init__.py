@@ -1,0 +1,20 @@
+"""Distributed substrate (§3.3): sites, messages, and the distributed
+scheduler combining site-local detection, timestamp ordering, and timeouts
+with partial rollback."""
+
+from .network import Message, MessageLog, MessageType
+from .partition import Partition, explicit_partition, round_robin_partition
+from .scheduler import PROBE, WAIT_DIE, WOUND_WAIT, DistributedScheduler
+
+__all__ = [
+    "DistributedScheduler",
+    "Message",
+    "MessageLog",
+    "MessageType",
+    "PROBE",
+    "Partition",
+    "WAIT_DIE",
+    "WOUND_WAIT",
+    "explicit_partition",
+    "round_robin_partition",
+]

@@ -1,0 +1,12 @@
+"""Graph layer: concurrency (waits-for) graphs, state-dependency graphs,
+and the underlying algorithms."""
+
+from .concurrency import ConcurrencyGraph, WaitArc
+from .state_dependency import StateDependencyGraph, WriteEdge
+
+__all__ = [
+    "ConcurrencyGraph",
+    "StateDependencyGraph",
+    "WaitArc",
+    "WriteEdge",
+]

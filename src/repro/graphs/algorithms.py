@@ -1,0 +1,330 @@
+"""Graph algorithms used by the deadlock machinery.
+
+All algorithms are implemented from first principles on plain adjacency
+dictionaries (``dict[node, set[node]]`` for digraphs, ``dict[node,
+set[node]]`` symmetric for undirected graphs) so the core library carries no
+third-party dependencies.  The test suite cross-checks several of them
+against ``networkx``.
+
+Contents
+--------
+* :func:`find_cycle_through` — one directed cycle through a given vertex.
+* :func:`simple_cycles_through` — all simple directed cycles through a given
+  vertex (bounded enumeration; every deadlock created by a single wait
+  response passes through the requesting transaction, §3.2).
+* :func:`is_forest` — Theorem 1's structural test for exclusive-lock graphs.
+* :func:`descendants` — reachability (the paper's descendant test for
+  single-cycle deadlock detection).
+* :func:`articulation_points` — Hopcroft–Tarjan, iterative, for
+  state-dependency graphs (§4).
+* :func:`min_cost_vertex_cut` / :func:`greedy_vertex_cut` — exact and
+  heuristic solvers for the NP-complete minimum-cost "break all cycles"
+  problem of §3.2.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Hashable, Iterable, Mapping, Sequence
+
+Node = Hashable
+Digraph = Mapping[Node, set]
+Cost = float
+
+
+def _successors(graph: Digraph, node: Node) -> set:
+    return graph.get(node, set())
+
+
+def nodes_of(graph: Digraph) -> set:
+    """All nodes appearing in *graph* as keys or successors."""
+    found = set(graph.keys())
+    for targets in graph.values():
+        found.update(targets)
+    return found
+
+
+def find_cycle_through(graph: Digraph, start: Node) -> list[Node] | None:
+    """Return one directed cycle through *start*, or ``None``.
+
+    The cycle is returned as a node list ``[start, n1, ..., nk]`` such that
+    consecutive nodes are connected and the last node links back to *start*.
+    Uses an iterative DFS from *start* looking for a path back to it.
+    """
+    stack: list[tuple[Node, list[Node]]] = [(start, [start])]
+    seen: set = set()
+    while stack:
+        node, path = stack.pop()
+        for succ in _successors(graph, node):
+            if succ == start:
+                return path
+            if succ not in seen:
+                seen.add(succ)
+                stack.append((succ, path + [succ]))
+    return None
+
+
+def simple_cycles_through(
+    graph: Digraph, start: Node, limit: int = 10_000,
+    visit_budget: int = 200_000,
+) -> list[list[Node]]:
+    """Enumerate simple directed cycles through *start*.
+
+    Each cycle is a node list beginning at *start* (the closing arc back to
+    *start* is implicit).  Enumeration is a DFS over simple paths from
+    *start*, restricted to vertices that can reach *start* at all (reverse
+    reachability pruning) — without it the DFS wastes exponential effort
+    on paths that can never close.  Two caps bound adversarial graphs:
+    *limit* on the number of cycles returned and *visit_budget* on DFS
+    node expansions; both are far above what real deadlocks produce, and
+    callers treat the output as a possibly-partial set (the scheduler's
+    residual pass catches anything beyond the caps).
+    """
+    # Vertices from which `start` is reachable (reverse BFS).
+    predecessors: dict[Node, set] = {}
+    for node, targets in graph.items():
+        for succ in targets:
+            predecessors.setdefault(succ, set()).add(node)
+    can_reach_start: set = set()
+    frontier = list(predecessors.get(start, ()))
+    while frontier:
+        node = frontier.pop()
+        if node in can_reach_start:
+            continue
+        can_reach_start.add(node)
+        frontier.extend(predecessors.get(node, ()))
+    if start not in can_reach_start:
+        return []
+
+    cycles: list[list[Node]] = []
+    path: list[Node] = [start]
+    on_path: set = {start}
+    visits = 0
+
+    def dfs(node: Node) -> bool:
+        nonlocal visits
+        visits += 1
+        if visits > visit_budget:
+            return False
+        for succ in sorted(_successors(graph, node), key=repr):
+            if succ == start:
+                cycles.append(list(path))
+                if len(cycles) >= limit:
+                    return False
+            elif succ not in on_path and succ in can_reach_start:
+                path.append(succ)
+                on_path.add(succ)
+                if not dfs(succ):
+                    return False
+                on_path.discard(succ)
+                path.pop()
+        return True
+
+    dfs(start)
+    return cycles
+
+
+def find_cycle(graph: Digraph) -> list[Node] | None:
+    """Some directed cycle in the digraph, or ``None`` (single DFS pass).
+
+    Linear in vertices+edges; returns the cycle as a node list in edge
+    order.
+    """
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: dict[Node, int] = {}
+    for root in sorted(nodes_of(graph), key=repr):
+        if color.get(root, WHITE) != WHITE:
+            continue
+        stack: list[tuple[Node, Iterable[Node]]] = [
+            (root, iter(sorted(_successors(graph, root), key=repr)))
+        ]
+        color[root] = GRAY
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for succ in it:
+                c = color.get(succ, WHITE)
+                if c == GRAY:
+                    # succ is on the current DFS stack: slice the cycle
+                    # out of the gray path.
+                    path = [entry[0] for entry in stack]
+                    return path[path.index(succ):]
+                if c == WHITE:
+                    color[succ] = GRAY
+                    stack.append(
+                        (succ, iter(sorted(_successors(graph, succ), key=repr)))
+                    )
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+    return None
+
+
+def has_cycle(graph: Digraph) -> bool:
+    """True iff the digraph contains any directed cycle."""
+    return find_cycle(graph) is not None
+
+
+def is_forest(graph: Digraph) -> bool:
+    """Structural test behind Theorem 1.
+
+    With exclusive locks only, every waiting transaction waits for exactly
+    one holder, so in the holder->waiter orientation every vertex has
+    in-degree at most one; the graph is then a forest (of out-trees) iff it
+    is acyclic.  This predicate checks both properties.
+    """
+    indegree: dict[Node, int] = {}
+    for node, targets in graph.items():
+        indegree.setdefault(node, 0)
+        for succ in targets:
+            indegree[succ] = indegree.get(succ, 0) + 1
+    if any(d > 1 for d in indegree.values()):
+        return False
+    return not has_cycle(graph)
+
+
+def descendants(graph: Digraph, start: Node) -> set:
+    """All nodes reachable from *start* by directed paths (excluding start
+    unless it lies on a cycle through itself)."""
+    reached: set = set()
+    frontier = list(_successors(graph, start))
+    while frontier:
+        node = frontier.pop()
+        if node in reached:
+            continue
+        reached.add(node)
+        frontier.extend(_successors(graph, node))
+    return reached
+
+
+# ---------------------------------------------------------------------------
+# Undirected: articulation points (for state-dependency graphs, §4)
+# ---------------------------------------------------------------------------
+
+
+def articulation_points(adjacency: Mapping[Node, set]) -> set:
+    """Articulation points of an undirected graph (Hopcroft–Tarjan).
+
+    *adjacency* must be symmetric (``b in adjacency[a]`` implies ``a in
+    adjacency[b]``).  Implemented iteratively so pathological
+    state-dependency chains cannot hit Python's recursion limit.
+    """
+    index: dict[Node, int] = {}
+    low: dict[Node, int] = {}
+    parent: dict[Node, Node | None] = {}
+    points: set = set()
+    counter = itertools.count()
+
+    for root in adjacency:
+        if root in index:
+            continue
+        parent[root] = None
+        root_children = 0
+        stack: list[tuple[Node, Iterable[Node]]] = [
+            (root, iter(sorted(adjacency[root], key=repr)))
+        ]
+        index[root] = low[root] = next(counter)
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nb in it:
+                if nb not in index:
+                    parent[nb] = node
+                    if node == root:
+                        root_children += 1
+                    index[nb] = low[nb] = next(counter)
+                    stack.append((nb, iter(sorted(adjacency[nb], key=repr))))
+                    advanced = True
+                    break
+                if nb != parent[node]:
+                    low[node] = min(low[node], index[nb])
+            if not advanced:
+                stack.pop()
+                p = parent[node]
+                if p is not None:
+                    low[p] = min(low[p], low[node])
+                    if p != root and low[node] >= index[p]:
+                        points.add(p)
+        if root_children > 1:
+            points.add(root)
+    return points
+
+
+# ---------------------------------------------------------------------------
+# Minimum-cost vertex cut of all cycles (§3.2, NP-complete)
+# ---------------------------------------------------------------------------
+
+
+def _cycles_hit(cycles: Sequence[Sequence[Node]], chosen: set) -> bool:
+    return all(any(v in chosen for v in cycle) for cycle in cycles)
+
+
+def min_cost_vertex_cut(
+    cycles: Sequence[Sequence[Node]],
+    cost: Callable[[Node], Cost],
+    candidates: Iterable[Node] | None = None,
+) -> set:
+    """Exact minimum-cost set of vertices hitting every cycle.
+
+    This is the weighted hitting-set formulation of the paper's
+    deadlock-removal optimisation: find transactions whose rollback breaks
+    all cycles at minimum summed rollback cost.  Exponential in the number
+    of candidate vertices — intended for the small vertex sets real
+    deadlocks produce; use :func:`greedy_vertex_cut` at scale.
+    """
+    if not cycles:
+        return set()
+    pool = sorted(
+        set(candidates) if candidates is not None
+        else {v for cycle in cycles for v in cycle},
+        key=repr,
+    )
+    if len(pool) > 22:
+        raise ValueError(
+            f"exact cut over {len(pool)} candidates is intractable; "
+            f"use greedy_vertex_cut"
+        )
+    best: set | None = None
+    best_cost = float("inf")
+    # A larger set of cheap vertices can beat a smaller expensive one, so all
+    # subset sizes must be scanned; subsets whose cost already exceeds the
+    # incumbent are pruned.
+    for r in range(1, len(pool) + 1):
+        for combo in itertools.combinations(pool, r):
+            chosen = set(combo)
+            total = sum(cost(v) for v in chosen)
+            if total >= best_cost:
+                continue
+            if _cycles_hit(cycles, chosen):
+                best, best_cost = chosen, total
+    if best is None:
+        raise ValueError("no vertex cut exists over the given candidates")
+    return best
+
+
+def greedy_vertex_cut(
+    cycles: Sequence[Sequence[Node]],
+    cost: Callable[[Node], Cost],
+) -> set:
+    """Greedy heuristic for the minimum-cost cycle-hitting set.
+
+    Repeatedly picks the vertex minimising ``cost / cycles-covered`` among
+    unhit cycles.  Runs in polynomial time and achieves the classic
+    logarithmic approximation factor of greedy set cover.
+    """
+    remaining = [list(c) for c in cycles]
+    chosen: set = set()
+    while remaining:
+        pool = {v for cycle in remaining for v in cycle}
+        best_v = min(
+            pool,
+            key=lambda v: (
+                cost(v) / sum(1 for c in remaining if v in c),
+                repr(v),
+            ),
+        )
+        chosen.add(best_v)
+        remaining = [c for c in remaining if best_v not in c]
+    return chosen

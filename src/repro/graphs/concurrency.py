@@ -1,0 +1,222 @@
+"""Concurrency ("waits-for") graphs — §3 of the paper.
+
+The paper defines, for a set ``T`` of concurrent transactions at time *t*,
+the relation ``T_i -A-> T_j``: transaction ``T_j`` is waiting to lock entity
+``A`` which is locked by ``T_i``.  :class:`ConcurrencyGraph` is the labeled
+version ``G_L(T)``: vertices are transactions, arcs run from *holder* to
+*waiter* and are labeled with the contested entity.
+
+A deadlock is a subset of transactions forming a cycle.  With exclusive
+locks only the graph is a forest whenever no deadlock exists (Theorem 1),
+and a single wait response can close at most one cycle; with shared locks
+the deadlock-free graph is a general acyclic digraph and one wait may close
+many cycles, all of which pass through the requesting transaction (§3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..locking.table import LockTable
+from . import algorithms
+
+TxnId = str
+EntityName = str
+
+
+@dataclass(frozen=True)
+class WaitArc:
+    """A labeled arc of the concurrency graph: *waiter* waits for *holder*
+    to release *entity* (arc direction is holder -> waiter)."""
+
+    holder: TxnId
+    waiter: TxnId
+    entity: EntityName
+
+
+class ConcurrencyGraph:
+    """Labeled waits-for graph ``G_L(T)``.
+
+    Instances can be built manually (``add_wait``) for scenario work — the
+    paper's figures are encoded this way in
+    :mod:`repro.analysis.figures` — or snapshot from a live lock table with
+    :meth:`from_lock_table`.
+    """
+
+    def __init__(self, transactions: Iterable[TxnId] = ()) -> None:
+        self._vertices: set[TxnId] = set(transactions)
+        self._arcs: set[WaitArc] = set()
+        # Indexes kept in lockstep with _arcs so per-arc queries are O(1)
+        # in the number of matching arcs rather than O(|arcs|).
+        self._by_pair: dict[tuple[TxnId, TxnId], set[EntityName]] = {}
+        self._by_holder: dict[TxnId, set[WaitArc]] = {}
+        self._by_waiter: dict[TxnId, set[WaitArc]] = {}
+
+    @classmethod
+    def from_lock_table(
+        cls,
+        table: LockTable,
+        transactions: Iterable[TxnId] = (),
+        include_queue_edges: bool = True,
+    ) -> "ConcurrencyGraph":
+        """Snapshot the current waits-for relation of a lock table.
+
+        With ``include_queue_edges=False`` only genuine lock conflicts
+        appear (the paper's relation, on which Theorem 1's forest
+        criterion holds); the default also includes FIFO queue-order
+        blocking so that queue-induced deadlocks are detectable.
+        """
+        graph = cls(transactions)
+        edges = (
+            table.wait_edges() if include_queue_edges
+            else table.conflict_edges()
+        )
+        for holder, waiter, entity in edges:
+            graph.add_wait(holder, waiter, entity)
+        return graph
+
+    # -- construction ---------------------------------------------------------
+
+    def add_transaction(self, txn: TxnId) -> None:
+        self._vertices.add(txn)
+
+    def add_wait(self, holder: TxnId, waiter: TxnId, entity: EntityName) -> None:
+        """Record that *waiter* waits for *holder*'s lock on *entity*."""
+        self._vertices.add(holder)
+        self._vertices.add(waiter)
+        arc = WaitArc(holder, waiter, entity)
+        if arc in self._arcs:
+            return
+        self._arcs.add(arc)
+        self._by_pair.setdefault((holder, waiter), set()).add(entity)
+        self._by_holder.setdefault(holder, set()).add(arc)
+        self._by_waiter.setdefault(waiter, set()).add(arc)
+
+    def remove_wait(self, holder: TxnId, waiter: TxnId, entity: EntityName) -> None:
+        arc = WaitArc(holder, waiter, entity)
+        if arc not in self._arcs:
+            return
+        self._arcs.discard(arc)
+        self._by_pair.get((holder, waiter), set()).discard(entity)
+        self._by_holder.get(holder, set()).discard(arc)
+        self._by_waiter.get(waiter, set()).discard(arc)
+
+    def remove_transaction(self, txn: TxnId) -> None:
+        """Delete a vertex and all incident arcs (transaction finished or
+        totally removed)."""
+        self._vertices.discard(txn)
+        incident = self._by_holder.get(txn, set()) | self._by_waiter.get(
+            txn, set()
+        )
+        for arc in incident:
+            self.remove_wait(arc.holder, arc.waiter, arc.entity)
+        self._by_holder.pop(txn, None)
+        self._by_waiter.pop(txn, None)
+
+    # -- views ------------------------------------------------------------------
+
+    @property
+    def transactions(self) -> set[TxnId]:
+        return set(self._vertices)
+
+    @property
+    def arcs(self) -> set[WaitArc]:
+        return set(self._arcs)
+
+    def waits_of(self, waiter: TxnId) -> set[WaitArc]:
+        """Arcs on which *waiter* is the waiting transaction."""
+        return set(self._by_waiter.get(waiter, set()))
+
+    def holds_waited_on(self, holder: TxnId) -> set[WaitArc]:
+        """Arcs on which *holder* is the holding transaction."""
+        return set(self._by_holder.get(holder, set()))
+
+    def entity_between(self, holder: TxnId, waiter: TxnId) -> set[EntityName]:
+        """Entities over which *waiter* waits for *holder*."""
+        return set(self._by_pair.get((holder, waiter), set()))
+
+    def adjacency(self) -> dict[TxnId, set[TxnId]]:
+        """Successor map in the holder -> waiter orientation."""
+        adj: dict[TxnId, set[TxnId]] = {txn: set() for txn in self._vertices}
+        for arc in self._arcs:
+            adj[arc.holder].add(arc.waiter)
+        return adj
+
+    def __iter__(self) -> Iterator[WaitArc]:
+        return iter(self._arcs)
+
+    def __len__(self) -> int:
+        return len(self._arcs)
+
+    # -- structure (Theorem 1 and friends) ----------------------------------------
+
+    def is_forest(self) -> bool:
+        """Theorem 1's criterion: deadlock-free exclusive-lock graphs are
+        forests (in-degree <= 1 in this orientation, and acyclic)."""
+        return algorithms.is_forest(self.adjacency())
+
+    def has_deadlock(self) -> bool:
+        """True iff some subset of transactions forms a directed cycle."""
+        return algorithms.has_cycle(self.adjacency())
+
+    def descendants(self, txn: TxnId) -> set[TxnId]:
+        """Transactions transitively waiting on *txn* (paper's descendant
+        test: a wait response deadlocks iff the requested entity is locked
+        by a descendant of the requester)."""
+        return algorithms.descendants(self.adjacency(), txn)
+
+    def would_deadlock(self, requester: TxnId, holders: Iterable[TxnId]) -> bool:
+        """Would blocking *requester* behind *holders* close a cycle?
+
+        This is the paper's detection rule evaluated *before* the wait edge
+        is inserted: the new arcs run holder -> requester, so a cycle forms
+        iff some holder is already a descendant of the requester.
+        """
+        reachable = self.descendants(requester)
+        return any(h == requester or h in reachable for h in holders)
+
+    def cycle_through(self, txn: TxnId) -> list[TxnId] | None:
+        """One deadlock cycle through *txn*, or ``None``."""
+        return algorithms.find_cycle_through(self.adjacency(), txn)
+
+    def find_any_cycle(self) -> list[TxnId] | None:
+        """Some deadlock cycle anywhere in the graph, or ``None``.
+
+        Single linear DFS; used by sweep-style detection and by the
+        scheduler's residual pass after a resolution whose cycle
+        enumeration hit its cap.
+        """
+        return algorithms.find_cycle(self.adjacency())
+
+    def cycles_through(self, txn: TxnId, limit: int = 10_000) -> list[list[TxnId]]:
+        """All simple deadlock cycles through *txn* (shared-lock systems can
+        create several with a single wait response, Figure 3)."""
+        return algorithms.simple_cycles_through(self.adjacency(), txn, limit)
+
+    def deadlocked_transactions(self, requester: TxnId) -> set[TxnId]:
+        """Union of all transactions on cycles through *requester*."""
+        involved: set[TxnId] = set()
+        for cycle in self.cycles_through(requester):
+            involved.update(cycle)
+        return involved
+
+    def cycle_arcs(self, cycle: list[TxnId]) -> list[WaitArc]:
+        """The labeled arcs realising *cycle* (one arc per hop; if several
+        entities label a hop, the lexicographically first is returned)."""
+        arcs: list[WaitArc] = []
+        for i, holder in enumerate(cycle):
+            waiter = cycle[(i + 1) % len(cycle)]
+            entities = sorted(self.entity_between(holder, waiter))
+            if not entities:
+                raise ValueError(f"no arc {holder} -> {waiter} in graph")
+            arcs.append(WaitArc(holder, waiter, entities[0]))
+        return arcs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        arcs = ", ".join(
+            f"{a.holder}-[{a.entity}]->{a.waiter}" for a in sorted(
+                self._arcs, key=lambda a: (a.holder, a.waiter, a.entity)
+            )
+        )
+        return f"ConcurrencyGraph({arcs})"

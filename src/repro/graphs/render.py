@@ -1,0 +1,85 @@
+"""Text renderings of the paper's two graph structures.
+
+For debugging, examples, and documentation: concurrency graphs and
+state-dependency graphs render to Graphviz DOT (for figures) and to a
+compact ASCII form (for terminal output).  Rendering is read-only; no
+third-party libraries are needed to *produce* the DOT text.
+"""
+
+from __future__ import annotations
+
+from .concurrency import ConcurrencyGraph
+from .state_dependency import StateDependencyGraph
+
+
+def concurrency_to_dot(graph: ConcurrencyGraph, title: str = "G") -> str:
+    """Graphviz DOT for a concurrency graph.
+
+    Arcs run holder -> waiter and are labeled with the contested entity,
+    matching the paper's Figure 1/3 style.
+    """
+    lines = [f"digraph {title} {{", "  rankdir=LR;"]
+    for txn in sorted(graph.transactions):
+        lines.append(f'  "{txn}";')
+    for arc in sorted(
+        graph.arcs, key=lambda a: (a.holder, a.waiter, a.entity)
+    ):
+        lines.append(
+            f'  "{arc.holder}" -> "{arc.waiter}" [label="{arc.entity}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def concurrency_to_ascii(graph: ConcurrencyGraph) -> str:
+    """One line per arc: ``holder -[entity]-> waiter``; isolated
+    transactions are listed afterwards."""
+    lines = []
+    connected = set()
+    for arc in sorted(
+        graph.arcs, key=lambda a: (a.holder, a.waiter, a.entity)
+    ):
+        lines.append(f"{arc.holder} -[{arc.entity}]-> {arc.waiter}")
+        connected.update((arc.holder, arc.waiter))
+    isolated = sorted(graph.transactions - connected)
+    if isolated:
+        lines.append("isolated: " + ", ".join(isolated))
+    return "\n".join(lines) if lines else "(empty)"
+
+
+def sdg_to_dot(sdg: StateDependencyGraph, title: str = "Gp") -> str:
+    """Graphviz DOT for a state-dependency graph.
+
+    Chain edges are drawn solid; write edges dashed and labeled with the
+    variable whose write created them (Figure 4 style).  Well-defined lock
+    states are drawn as double circles.
+    """
+    lines = [f"graph {title} {{", "  rankdir=LR;"]
+    for v in sdg.vertices():
+        shape = "doublecircle" if sdg.well_defined(v) else "circle"
+        lines.append(f'  "{v}" [shape={shape}];')
+    for v in range(sdg.lock_count):
+        lines.append(f'  "{v}" -- "{v + 1}";')
+    for edge in sdg.edges:
+        upper = min(edge.upper + 1, sdg.lock_count)
+        if upper > edge.lower:
+            lines.append(
+                f'  "{edge.lower}" -- "{upper}" '
+                f'[style=dashed, label="{edge.variable}"];'
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def sdg_to_ascii(sdg: StateDependencyGraph) -> str:
+    """Compact ASCII: the lock-state chain with well-defined states marked
+    ``[k]`` and undefined ones ``(k)``, followed by the kill intervals."""
+    chain = " - ".join(
+        f"[{q}]" if sdg.well_defined(q) else f"({q})"
+        for q in sdg.vertices()
+    )
+    intervals = ", ".join(
+        f"({lo},{hi}]" for lo, hi in sdg.undefined_intervals()
+    )
+    spans = f"; kills: {intervals}" if intervals else ""
+    return chain + spans

@@ -1,0 +1,253 @@
+"""State-dependency graphs — §4 of the paper (single-copy rollback).
+
+Under the single-copy strategy, only two values of a variable are ever
+available: the *base* value (an entity's global value / a local variable's
+initial value) and the *current* local copy.  The value a variable held at a
+past lock state is therefore reproducible iff either
+
+* no write to the variable happened **before** that lock state (the base
+  value is still correct there), or
+* no write to the variable happened **after** that lock state (the current
+  copy is still correct there).
+
+The paper captures this with the *state-dependency graph* ``G_p``: vertices
+are lock indices ``0..p``, consecutive indices are joined by chain edges,
+and each write adds an edge between the written variable's *index of
+restorability* (the last lock state before its first write) and the lock
+index of the write.  A lock state is *well-defined* (recreatable) iff no
+write edge spans it; equivalently, iff its vertex is an articulation point
+of ``G_p`` (Corollary 1).
+
+Lock-index conventions used throughout the library
+---------------------------------------------------
+* Lock state ``k`` (``k >= 1``) is the state immediately before the ``k``-th
+  lock request; lock state ``0`` is the initial state.
+* The lock index of a write operation is the number of lock requests issued
+  before it, so a write with lock index ``m`` executes *after* lock state
+  ``m``; it destroys the pre-write value at every lock state in the open/
+  closed interval ``(u, m]`` where ``u`` is the variable's index of
+  restorability.  (The paper's figures attach the write edge to the vertex
+  of the state the write follows; spanning is therefore ``u < q <= m`` in
+  our indexing, which the docstring of :meth:`StateDependencyGraph.
+  well_defined` restates.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from . import algorithms
+
+
+@dataclass(frozen=True)
+class WriteEdge:
+    """An SDG edge produced by a write: spans lock states in ``(lower,
+    upper]`` and renders them undefined.
+
+    Attributes
+    ----------
+    lower:
+        The written variable's index of restorability ``u``.
+    upper:
+        The lock index ``m`` of the write.
+    variable:
+        The written entity or local variable (for diagnostics).
+    """
+
+    lower: int
+    upper: int
+    variable: str
+
+    def spans(self, lock_index: int) -> bool:
+        """True iff the edge makes lock state *lock_index* undefined."""
+        return self.lower < lock_index <= self.upper
+
+
+@dataclass
+class _VariableHistory:
+    restorability_index: int | None = None
+    last_write_index: int | None = None
+
+
+class StateDependencyGraph:
+    """Incrementally maintained state-dependency graph for one transaction.
+
+    The scheduler notifies the graph of each lock request
+    (:meth:`add_lock_state`) and each write (:meth:`record_write`); rollback
+    truncates it (:meth:`truncate_to`).  Queries answer which lock states
+    are currently *well-defined*, i.e. legal targets for single-copy
+    rollback.
+    """
+
+    def __init__(self) -> None:
+        self._lock_count = 0
+        self._histories: dict[str, _VariableHistory] = {}
+        self._edges: list[WriteEdge] = []
+
+    # -- updates ----------------------------------------------------------
+
+    def add_lock_state(self) -> int:
+        """Record that a lock request is being issued; returns its lock
+        index (the index of the lock state immediately preceding it)."""
+        self._lock_count += 1
+        return self._lock_count
+
+    def record_write(self, variable: str) -> WriteEdge | None:
+        """Record a write to *variable* at the current lock index.
+
+        Returns the new :class:`WriteEdge` if the write destroys any state
+        (i.e. the variable was written before at an earlier lock index), or
+        the edge created by a first write, or ``None`` when the write only
+        updates an interval already covered.
+        """
+        history = self._histories.setdefault(variable, _VariableHistory())
+        lock_index = self._lock_count
+        if history.restorability_index is None:
+            history.restorability_index = lock_index
+        history.last_write_index = lock_index
+        if lock_index > history.restorability_index:
+            edge = WriteEdge(history.restorability_index, lock_index, variable)
+            self._edges.append(edge)
+            return edge
+        return None
+
+    def truncate_to(self, lock_index: int) -> None:
+        """Rewind the graph to lock state *lock_index* (after a rollback).
+
+        Lock states ``>= lock_index`` are discarded; write records at lock
+        indices ``>= lock_index`` are undone.
+        """
+        if not 0 <= lock_index <= self._lock_count:
+            raise ValueError(
+                f"lock index {lock_index} out of range 0..{self._lock_count}"
+            )
+        # After rolling back to lock state k, the transaction has issued
+        # k - 1 lock requests (requests k..n were undone).
+        self._lock_count = max(lock_index - 1, 0)
+        self._edges = [e for e in self._edges if e.upper < lock_index]
+        survivors: dict[str, _VariableHistory] = {}
+        for variable, history in self._histories.items():
+            if history.restorability_index is None:
+                continue
+            if history.restorability_index >= lock_index:
+                continue  # first write undone: variable is pristine again
+            writes_left = [
+                e.upper for e in self._edges if e.variable == variable
+            ]
+            last = max(writes_left, default=history.restorability_index)
+            survivors[variable] = _VariableHistory(
+                restorability_index=history.restorability_index,
+                last_write_index=last,
+            )
+        self._histories = survivors
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def lock_count(self) -> int:
+        """Number of lock requests issued so far (= index of the latest
+        lock state)."""
+        return self._lock_count
+
+    @property
+    def edges(self) -> list[WriteEdge]:
+        """All write edges recorded so far."""
+        return list(self._edges)
+
+    def restorability_index(self, variable: str) -> int | None:
+        """The variable's index of restorability, or ``None`` if unwritten."""
+        history = self._histories.get(variable)
+        return history.restorability_index if history else None
+
+    def undefined_intervals(self) -> list[tuple[int, int]]:
+        """Per-variable intervals ``(u, m]`` of undefined lock states."""
+        intervals = []
+        for history in self._histories.values():
+            if (
+                history.restorability_index is not None
+                and history.last_write_index is not None
+                and history.last_write_index > history.restorability_index
+            ):
+                intervals.append(
+                    (history.restorability_index, history.last_write_index)
+                )
+        return sorted(intervals)
+
+    def well_defined(self, lock_index: int) -> bool:
+        """Is lock state *lock_index* currently well-defined?
+
+        A state is well-defined iff no variable has both a write before it
+        (``u < lock_index``) and a write at-or-after it
+        (``last_write >= lock_index``): the spanning criterion of Theorem 4
+        evaluated on the per-variable intervals ``(u, last_write]``.
+        Lock state 0 (total rollback) is always well-defined.
+        """
+        if not 0 <= lock_index <= self._lock_count:
+            raise ValueError(
+                f"lock index {lock_index} out of range 0..{self._lock_count}"
+            )
+        return not any(
+            lower < lock_index <= upper
+            for lower, upper in self.undefined_intervals()
+        )
+
+    def well_defined_states(self) -> list[int]:
+        """All currently well-defined lock indices, ascending."""
+        return [
+            q for q in range(self._lock_count + 1) if self.well_defined(q)
+        ]
+
+    def latest_well_defined_at_or_below(self, lock_index: int) -> int:
+        """Largest well-defined lock index ``<= lock_index``.
+
+        This is the rollback target the single-copy strategy actually uses
+        when the ideal target (the lock state of the contested entity) is
+        itself undefined: "we must find the well-defined lock state of
+        largest index less than that of the lock state for E" (§4).
+        Always succeeds because lock state 0 is well-defined.
+        """
+        for q in range(min(lock_index, self._lock_count), -1, -1):
+            if self.well_defined(q):
+                return q
+        raise AssertionError("lock state 0 must be well-defined")
+
+    # -- the graph itself (figures, tests) ---------------------------------------
+
+    def vertices(self) -> list[int]:
+        """Vertices of ``G_p``: lock indices ``0..p``."""
+        return list(range(self._lock_count + 1))
+
+    def adjacency(self) -> dict[int, set[int]]:
+        """Undirected adjacency of ``G_p``: chain edges between consecutive
+        lock indices plus one edge per recorded write edge.
+
+        Write edges are attached between ``lower`` and ``upper + 1`` when a
+        lock state beyond the write exists (so that the articulation-point
+        criterion of Corollary 1 coincides exactly with
+        :meth:`well_defined`); a write edge whose span ends at the current
+        frontier keeps its natural endpoint.
+        """
+        adj: dict[int, set[int]] = {v: set() for v in self.vertices()}
+        for v in range(self._lock_count):
+            adj[v].add(v + 1)
+            adj[v + 1].add(v)
+        for edge in self._edges:
+            upper = min(edge.upper + 1, self._lock_count)
+            if upper > edge.lower:
+                adj[edge.lower].add(upper)
+                adj[upper].add(edge.lower)
+        return adj
+
+    def articulation_points(self) -> set[int]:
+        """Articulation points of ``G_p`` (Hopcroft–Tarjan)."""
+        return algorithms.articulation_points(self.adjacency())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        spans = ", ".join(
+            f"{e.variable}:({e.lower},{e.upper}]" for e in self._edges
+        )
+        return (
+            f"StateDependencyGraph(lock_count={self._lock_count}, "
+            f"spans=[{spans}])"
+        )

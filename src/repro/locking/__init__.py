@@ -1,0 +1,16 @@
+"""Locking substrate: S/X modes, lock table, and the two-phase lock manager."""
+
+from .manager import LockManager
+from .modes import EXCLUSIVE, SHARED, LockMode, compatible
+from .table import Grant, LockTable, QueuedRequest
+
+__all__ = [
+    "EXCLUSIVE",
+    "Grant",
+    "LockManager",
+    "LockMode",
+    "LockTable",
+    "QueuedRequest",
+    "SHARED",
+    "compatible",
+]

@@ -1,0 +1,42 @@
+"""Lock modes and their compatibility (paper §2).
+
+Transactions that will only read an entity may take a *shared* lock (the
+paper's ``LS`` request); transactions that will read and write must take an
+*exclusive* lock (``LX``).  Shared locks are mutually compatible; an
+exclusive lock is compatible with nothing.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class LockMode(enum.Enum):
+    """The two lock modes of the paper's model."""
+
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+    def compatible_with(self, other: "LockMode") -> bool:
+        """True iff a lock in ``self`` mode can coexist with one in *other*."""
+        return self is LockMode.SHARED and other is LockMode.SHARED
+
+    @property
+    def is_exclusive(self) -> bool:
+        return self is LockMode.EXCLUSIVE
+
+    @property
+    def is_shared(self) -> bool:
+        return self is LockMode.SHARED
+
+    def __str__(self) -> str:
+        return self.value
+
+
+SHARED = LockMode.SHARED
+EXCLUSIVE = LockMode.EXCLUSIVE
+
+
+def compatible(held: LockMode, requested: LockMode) -> bool:
+    """Compatibility predicate as a free function (matrix form)."""
+    return held.compatible_with(requested)

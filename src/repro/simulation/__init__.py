@@ -1,0 +1,39 @@
+"""Simulation substrate: interleaving engine, traces, and workloads."""
+
+from .engine import SimulationEngine, SimulationResult
+from .interleaving import (
+    InterleavingPolicy,
+    RandomInterleaving,
+    RoundRobin,
+    Scripted,
+)
+from .sweeps import CellResult, Sweep, tabulate
+from .trace import Trace, TraceEvent
+from .workload import (
+    WorkloadConfig,
+    entity_name,
+    expected_final_state,
+    generate_program,
+    generate_workload,
+    make_database,
+)
+
+__all__ = [
+    "InterleavingPolicy",
+    "RandomInterleaving",
+    "RoundRobin",
+    "Scripted",
+    "Sweep",
+    "CellResult",
+    "SimulationEngine",
+    "SimulationResult",
+    "Trace",
+    "tabulate",
+    "TraceEvent",
+    "WorkloadConfig",
+    "entity_name",
+    "expected_final_state",
+    "generate_program",
+    "generate_workload",
+    "make_database",
+]

@@ -1,0 +1,216 @@
+"""The simulation engine: deterministic concurrent execution of programs.
+
+This substitutes for the concurrent database system the paper assumes: each
+engine step executes one atomic operation of one transaction (chosen by an
+:class:`~repro.simulation.interleaving.InterleavingPolicy`), so any
+interleaving of the paper's model can be produced and reproduced exactly.
+
+The engine also watches for *livelock* — the paper's "potentially infinite
+mutual preemption" (Figure 2).  If the system keeps executing without any
+transaction committing for a long stretch while rollbacks keep occurring,
+the run is flagged (and optionally aborted) rather than spinning forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.metrics import Metrics
+from ..core.scheduler import Scheduler, StepOutcome
+from ..core.transaction import TransactionProgram, TxnStatus
+from ..errors import SimulationError
+from .interleaving import InterleavingPolicy, RoundRobin
+from .trace import Trace
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one engine run."""
+
+    steps: int
+    committed: list[str]
+    metrics: Metrics
+    trace: Trace
+    livelock_detected: bool = False
+    final_state: dict = field(default_factory=dict)
+    mean_runnable: float = 0.0
+    mean_blocked: float = 0.0
+
+    @property
+    def all_committed(self) -> bool:
+        return not self.livelock_detected and bool(self.committed)
+
+
+class SimulationEngine:
+    """Drives a :class:`~repro.core.scheduler.Scheduler` to completion.
+
+    Parameters
+    ----------
+    scheduler:
+        The concurrency control to drive.
+    interleaving:
+        Interleaving policy; defaults to round-robin.
+    max_steps:
+        Hard step budget; exceeding it raises
+        :class:`~repro.errors.SimulationError` unless
+        ``stop_on_livelock`` converts persistent non-progress into a
+        flagged result first.
+    livelock_window:
+        If no commit happens within this many consecutive steps *and*
+        rollbacks occurred in that window, the run is classified as
+        livelocked (mutual preemption).  ``0`` disables the check.
+    stop_on_livelock:
+        When True, a detected livelock ends the run with
+        ``livelock_detected=True`` instead of raising.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        interleaving: InterleavingPolicy | None = None,
+        max_steps: int = 1_000_000,
+        livelock_window: int = 0,
+        stop_on_livelock: bool = True,
+    ) -> None:
+        self.scheduler = scheduler
+        self.interleaving = interleaving or RoundRobin()
+        self.max_steps = max_steps
+        self.livelock_window = livelock_window
+        self.stop_on_livelock = stop_on_livelock
+        self.trace = Trace()
+        self._pending_arrivals: list[tuple[int, TransactionProgram]] = []
+
+    def add(self, program: TransactionProgram) -> None:
+        """Register one more program before (or during) a run."""
+        self.scheduler.register(program)
+
+    def add_at(self, step: int, program: TransactionProgram) -> None:
+        """Schedule *program* to enter the executing environment at engine
+        step *step* (dynamic arrivals; entry order — and therefore the
+        Theorem 2 ordering — follows admission time)."""
+        if step < 0:
+            raise ValueError("arrival step must be non-negative")
+        self._pending_arrivals.append((step, program))
+        self._pending_arrivals.sort(key=lambda item: item[0])
+
+    def run(self) -> SimulationResult:
+        """Execute until every transaction commits (or livelock/step cap)."""
+        steps = 0
+        last_commit_step = 0
+        rollbacks_at_last_commit = 0
+        livelocked = False
+        runnable_sum = 0
+        blocked_sum = 0
+        self.interleaving.reset()
+        step_hook = getattr(self.scheduler, "on_engine_step", None)
+        while not self.scheduler.all_done or self._pending_arrivals:
+            while (
+                self._pending_arrivals
+                and self._pending_arrivals[0][0] <= steps
+            ):
+                _arrival, program = self._pending_arrivals.pop(0)
+                self.scheduler.register(program)
+            if step_hook is not None:
+                step_hook(steps)
+            runnable = self.scheduler.runnable()
+            if not runnable and self._pending_arrivals:
+                # Idle until the next arrival: fast-forward the clock.
+                steps = max(steps, self._pending_arrivals[0][0])
+                continue
+            if not runnable and step_hook is not None:
+                # Everything is blocked; only the scheduler's time-based
+                # machinery (e.g. distributed wait timeouts) can unwedge the
+                # system.  Advance idle time until it does or gives up.
+                for idle in range(self.max_steps):
+                    steps += 1
+                    step_hook(steps)
+                    runnable = self.scheduler.runnable()
+                    if runnable:
+                        break
+            if not runnable:
+                raise SimulationError(
+                    "all transactions blocked but none committed: undetected "
+                    "deadlock or lost wakeup (scheduler invariant broken)"
+                )
+            runnable_sum += len(runnable)
+            blocked_sum += sum(
+                1
+                for t in self.scheduler.transactions.values()
+                if t.status is TxnStatus.BLOCKED
+            )
+            txn_id = self.interleaving.choose(runnable, steps)
+            txn = self.scheduler.transaction(txn_id)
+            operation = txn.current_operation()
+            result = self.scheduler.step(txn_id)
+            steps += 1
+            self.trace.record(
+                steps, result,
+                operation=operation.describe() if operation else "commit",
+            )
+            if result.outcome is StepOutcome.COMMITTED:
+                last_commit_step = steps
+                rollbacks_at_last_commit = self.scheduler.metrics.rollbacks
+            if self.livelock_window and (
+                steps - last_commit_step >= self.livelock_window
+                and self.scheduler.metrics.rollbacks > rollbacks_at_last_commit
+            ):
+                livelocked = True
+                if self.stop_on_livelock:
+                    break
+                raise SimulationError(
+                    f"livelock: {self.livelock_window} steps without a "
+                    f"commit while rollbacks keep occurring"
+                )
+            if steps >= self.max_steps:
+                raise SimulationError(
+                    f"exceeded step budget of {self.max_steps}"
+                )
+        return SimulationResult(
+            steps=steps,
+            committed=self.trace.commits_in_order(),
+            metrics=self.scheduler.metrics,
+            trace=self.trace,
+            livelock_detected=livelocked,
+            final_state=self.scheduler.database.snapshot(),
+            mean_runnable=runnable_sum / steps if steps else 0.0,
+            mean_blocked=blocked_sum / steps if steps else 0.0,
+        )
+
+    def step_transaction(self, txn_id: str):
+        """Step a specific transaction once (scenario scripting helper)."""
+        txn = self.scheduler.transaction(txn_id)
+        operation = txn.current_operation()
+        result = self.scheduler.step(txn_id)
+        self.trace.record(
+            len(self.trace) + 1, result,
+            operation=operation.describe() if operation else "commit",
+        )
+        return result
+
+    def run_to_block(self, txn_id: str, max_steps: int = 10_000):
+        """Step *txn_id* until it blocks, commits, or hits a deadlock.
+
+        Returns the last :class:`~repro.core.scheduler.StepResult`.  Used
+        by the figure scenarios, which advance transactions to precise
+        blocking points.
+        """
+        result = None
+        for _ in range(max_steps):
+            txn = self.scheduler.transaction(txn_id)
+            if txn.status is not TxnStatus.READY:
+                return result
+            result = self.step_transaction(txn_id)
+            if result.outcome in (
+                StepOutcome.BLOCKED,
+                StepOutcome.DEADLOCK,
+                StepOutcome.COMMITTED,
+            ):
+                return result
+        raise SimulationError(f"{txn_id} did not block within {max_steps} steps")
+
+    def run_for(self, txn_id: str, steps: int):
+        """Step *txn_id* exactly *steps* times (must stay runnable)."""
+        result = None
+        for _ in range(steps):
+            result = self.step_transaction(txn_id)
+        return result

@@ -1,0 +1,16 @@
+"""Storage substrate: global entities, the database, and local copies."""
+
+from .copies import SingleCopy, StackElement, ValueStack
+from .multicopy import MultiCopy, RetainedCopy
+from .database import Database
+from .entity import Entity
+
+__all__ = [
+    "Database",
+    "Entity",
+    "MultiCopy",
+    "RetainedCopy",
+    "SingleCopy",
+    "StackElement",
+    "ValueStack",
+]

@@ -1,0 +1,134 @@
+"""The database: a named collection of global entities plus constraints.
+
+A *database state* is an assignment of a value to every entity.  The paper
+assumes a set of constraints defines which states are *consistent* and that
+every transaction run alone maps consistent states to consistent states.
+:class:`Database` lets callers register such constraints so the test suite
+and the simulator can verify that the scheduler preserves them (a failed
+constraint means the 2PL/rollback machinery broke serializability).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+from ..errors import ConsistencyViolation, UnknownEntityError
+from .entity import Entity, Value
+
+Constraint = Callable[[Mapping[str, Value]], bool]
+
+
+class Database:
+    """An in-memory store of global entities.
+
+    Parameters
+    ----------
+    values:
+        Mapping of entity name to initial global value.  Entities may also be
+        added later with :meth:`create`.
+
+    Examples
+    --------
+    >>> db = Database({"a": 1, "b": 2})
+    >>> db["a"]
+    1
+    >>> db.add_constraint(lambda s: s["a"] + s["b"] == 3, name="sum")
+    >>> db.check_consistency()
+    """
+
+    def __init__(self, values: Mapping[str, Value] | None = None) -> None:
+        self._entities: dict[str, Entity] = {}
+        self._constraints: list[tuple[str, Constraint]] = []
+        if values:
+            for name, value in values.items():
+                self.create(name, value)
+
+    # -- entity management -------------------------------------------------
+
+    def create(self, name: str, value: Value = 0) -> Entity:
+        """Add a new entity; raises ``ValueError`` if the name is taken."""
+        if name in self._entities:
+            raise ValueError(f"entity {name!r} already exists")
+        entity = Entity(name, value)
+        self._entities[name] = entity
+        return entity
+
+    def drop(self, name: str) -> None:
+        """Remove an entity from the database."""
+        self._require(name)
+        del self._entities[name]
+
+    def entity(self, name: str) -> Entity:
+        """Return the :class:`Entity` object for *name*."""
+        self._require(name)
+        return self._entities[name]
+
+    def _require(self, name: str) -> None:
+        if name not in self._entities:
+            raise UnknownEntityError(f"no entity named {name!r}")
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entities
+
+    def __getitem__(self, name: str) -> Value:
+        self._require(name)
+        return self._entities[name].value
+
+    def __setitem__(self, name: str, value: Value) -> None:
+        self._require(name)
+        self._entities[name].install(value)
+
+    def __len__(self) -> int:
+        return len(self._entities)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entities)
+
+    def names(self) -> Iterable[str]:
+        """Iterate over entity names."""
+        return self._entities.keys()
+
+    def snapshot(self) -> dict[str, Value]:
+        """Return a copy of the current database state (name -> value)."""
+        return {name: entity.value for name, entity in self._entities.items()}
+
+    def restore(self, state: Mapping[str, Value]) -> None:
+        """Overwrite the state of every entity present in *state*."""
+        for name, value in state.items():
+            self[name] = value
+
+    # -- consistency constraints -------------------------------------------
+
+    def add_constraint(self, predicate: Constraint, name: str = "") -> None:
+        """Register a consistency constraint over the database state.
+
+        *predicate* receives a name->value mapping and returns ``True`` when
+        the state is consistent.
+        """
+        self._constraints.append((name or f"constraint-{len(self._constraints)}",
+                                  predicate))
+
+    @property
+    def constraints(self) -> list[str]:
+        """Names of the registered constraints."""
+        return [name for name, _pred in self._constraints]
+
+    def check_consistency(self) -> None:
+        """Raise :class:`ConsistencyViolation` if any constraint fails."""
+        state = self.snapshot()
+        for name, predicate in self._constraints:
+            if not predicate(state):
+                raise ConsistencyViolation(
+                    f"constraint {name!r} violated in state {state!r}"
+                )
+
+    def is_consistent(self) -> bool:
+        """Return ``True`` iff every registered constraint holds."""
+        try:
+            self.check_consistency()
+        except ConsistencyViolation:
+            return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Database({self.snapshot()!r})"

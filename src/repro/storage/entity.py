@@ -1,0 +1,62 @@
+"""Global data entities.
+
+The paper models a database as "a set of global data entities", each with a
+range of values it may assume.  :class:`Entity` is the unit of locking: the
+concurrency control grants shared or exclusive locks on whole entities.
+
+An entity's *global value* is the committed value visible in the database.
+The paper's implementation section assumes "the global value of an entity
+does not change until the transaction unlocks it": transactions operate on
+local copies (see :mod:`repro.storage.copies`) and the final local value is
+installed as the new global value at unlock time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+Value = Any
+Range = Callable[[Value], bool]
+
+
+def any_value(_value: Value) -> bool:
+    """Default range predicate: every value is admissible."""
+    return True
+
+
+@dataclass
+class Entity:
+    """A lockable global data entity.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier of the entity within its database.
+    value:
+        The current global (committed) value.
+    value_range:
+        Predicate defining the entity's range; assignment of a value outside
+        the range raises ``ValueError``.  Defaults to accepting everything.
+    """
+
+    name: str
+    value: Value = 0
+    value_range: Range = field(default=any_value, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.value_range(self.value):
+            raise ValueError(
+                f"initial value {self.value!r} outside range of entity {self.name!r}"
+            )
+
+    def install(self, value: Value) -> None:
+        """Set a new global value, enforcing the entity's range."""
+        if not self.value_range(value):
+            raise ValueError(
+                f"value {value!r} outside range of entity {self.name!r}"
+            )
+        self.value = value
+
+    def __hash__(self) -> int:
+        return hash(self.name)

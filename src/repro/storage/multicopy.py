@@ -1,0 +1,148 @@
+"""Budgeted multi-copy storage: the paper's §5 extension.
+
+The conclusions note that "the state-dependency graph implementation of
+partial rollback can easily be extended to allow more than one local copy
+to be kept for entities", leaving the allocation of a bounded amount of
+extra storage as future work.  :class:`MultiCopy` is that extension's
+storage primitive: a :class:`~repro.storage.copies.SingleCopy` that may
+additionally *retain* values a re-write would otherwise destroy.
+
+A retained copy taken just before a write at lock index ``hi`` preserves
+the value that was current since the previous write at ``lo`` (or since
+the base value), i.e. the value of every lock state in ``(lo, hi]`` —
+exactly one kill interval of the state-dependency graph neutralised per
+retained copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import RollbackError
+
+Value = Any
+
+
+@dataclass(frozen=True)
+class RetainedCopy:
+    """A preserved old value, valid for lock states in ``(lo, hi]``."""
+
+    value: Value
+    lo: int
+    hi: int
+
+    def covers(self, lock_index: int) -> bool:
+        return self.lo < lock_index <= self.hi
+
+
+@dataclass
+class MultiCopy:
+    """A local copy with an optional set of retained old values.
+
+    Mirrors :class:`~repro.storage.copies.SingleCopy` (base value, current
+    value, restorability bookkeeping) and adds :attr:`retained`.  How many
+    values get retained is the *caller's* budget decision — pass
+    ``retain=True`` to :meth:`write` to spend one copy on preserving the
+    value the write destroys.
+    """
+
+    name: str
+    base_value: Value
+    lock_index: int = 0
+    value: Value = None
+    restorability_index: int | None = None
+    last_write_index: int | None = None
+    write_indices: list[int] = field(default_factory=list)
+    retained: list[RetainedCopy] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.value is None:
+            self.value = self.base_value
+
+    @property
+    def written(self) -> bool:
+        return self.last_write_index is not None
+
+    @property
+    def copies_stored(self) -> int:
+        """Total stored values: the single copy plus retained ones."""
+        return 1 + len(self.retained)
+
+    # -- writes ---------------------------------------------------------------
+
+    def write(self, value: Value, lock_index: int, retain: bool = False) -> bool:
+        """Record a write; optionally retain the value being destroyed.
+
+        Returns True iff a retained copy was actually created (a first
+        write destroys nothing — the base value remains available — and a
+        re-write at the same lock index destroys no *lock state*, so
+        neither consumes budget).
+        """
+        retained_now = False
+        if (
+            retain
+            and self.last_write_index is not None
+            and lock_index > self.last_write_index
+        ):
+            self.retained.append(
+                RetainedCopy(
+                    value=self.value,
+                    lo=self.last_write_index,
+                    hi=lock_index,
+                )
+            )
+            retained_now = True
+        if self.restorability_index is None:
+            self.restorability_index = lock_index
+        self.value = value
+        self.last_write_index = lock_index
+        self.write_indices.append(lock_index)
+        return retained_now
+
+    # -- restoration ----------------------------------------------------------
+
+    def restorable_at(self, lock_index: int) -> bool:
+        if self.restorability_index is None:
+            return True
+        if lock_index <= self.restorability_index:
+            return True
+        assert self.last_write_index is not None
+        if lock_index > self.last_write_index:
+            return True
+        return any(copy.covers(lock_index) for copy in self.retained)
+
+    def value_at(self, lock_index: int) -> Value:
+        if self.restorability_index is None or (
+            lock_index <= self.restorability_index
+        ):
+            return self.base_value
+        assert self.last_write_index is not None
+        if lock_index > self.last_write_index:
+            return self.value
+        for copy in self.retained:
+            if copy.covers(lock_index):
+                return copy.value
+        raise RollbackError(
+            f"value of {self.name!r} at lock state {lock_index} is not "
+            f"restorable (no retained copy covers it)"
+        )
+
+    def rollback_to(self, lock_index: int) -> None:
+        """Restore the copy to its state as of lock state *lock_index*.
+
+        Retained copies whose interval lies entirely before the target
+        survive (they still describe valid history); later ones are
+        discarded together with the undone writes.
+        """
+        restored = self.value_at(lock_index)
+        self.write_indices = [m for m in self.write_indices if m < lock_index]
+        self.retained = [
+            copy for copy in self.retained if copy.hi < lock_index
+        ]
+        self.value = restored
+        if self.write_indices:
+            self.last_write_index = self.write_indices[-1]
+        else:
+            self.last_write_index = None
+            self.restorability_index = None

@@ -1,0 +1,11 @@
+"""Test-suite configuration: deterministic hypothesis runs."""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+    deadline=None,
+)
+settings.load_profile("repro")

@@ -1,0 +1,220 @@
+"""Tests for the deadlock-handling baselines (§1 comparators)."""
+
+import pytest
+
+from repro import Database, Scheduler, TransactionProgram, ops
+from repro.baselines import (
+    NoWaitScheduler,
+    PreclaimScheduler,
+    follows_static_order,
+    static_order_variant,
+)
+from repro.simulation import (
+    RandomInterleaving,
+    SimulationEngine,
+    WorkloadConfig,
+    expected_final_state,
+    generate_workload,
+)
+
+
+def contended_workload(seed=3):
+    config = WorkloadConfig(
+        n_transactions=10, n_entities=8, locks_per_txn=(2, 4),
+        write_ratio=0.9, skew="hotspot",
+    )
+    db, programs = generate_workload(config, seed=seed)
+    return db, programs, expected_final_state(db, programs)
+
+
+class TestStaticOrder:
+    def test_transform_orders_locks(self):
+        program = TransactionProgram("T", [
+            ops.lock_exclusive("z"),
+            ops.write("z", ops.const(1)),
+            ops.lock_exclusive("a"),
+            ops.write("a", ops.const(1)),
+        ])
+        assert not follows_static_order(program)
+        ordered = static_order_variant(program)
+        assert follows_static_order(ordered)
+        locked = [op.entity_name for _i, op in ordered.lock_operations]
+        assert locked == ["a", "z"]
+
+    def test_transform_preserves_solo_semantics(self):
+        program = TransactionProgram("T", [
+            ops.lock_exclusive("z"),
+            ops.read("z", into="x"),
+            ops.lock_exclusive("a"),
+            ops.write("a", ops.var("x") + ops.const(1)),
+            ops.write("z", ops.const(5)),
+        ])
+        db1 = Database({"a": 0, "z": 7})
+        s1 = Scheduler(db1)
+        s1.register(program)
+        s1.run_until_quiescent()
+
+        db2 = Database({"a": 0, "z": 7})
+        s2 = Scheduler(db2)
+        s2.register(static_order_variant(program))
+        s2.run_until_quiescent()
+        assert db1.snapshot() == db2.snapshot()
+
+    def test_custom_order_key(self):
+        program = TransactionProgram("T", [
+            ops.lock_exclusive("a"),
+            ops.lock_exclusive("b"),
+        ])
+        reverse = static_order_variant(
+            program, order_key=lambda name: -ord(name[0])
+        )
+        locked = [op.entity_name for _i, op in reverse.lock_operations]
+        assert locked == ["b", "a"]
+
+    def test_no_deadlocks_under_contention(self):
+        db, programs, expected = contended_workload()
+        scheduler = Scheduler(db, strategy="mcs")
+        engine = SimulationEngine(scheduler, RandomInterleaving(5))
+        for program in programs:
+            engine.add(static_order_variant(program))
+        result = engine.run()
+        assert result.final_state == expected
+        assert result.metrics.deadlocks == 0
+        assert result.metrics.rollbacks == 0
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 7])
+    def test_no_deadlocks_across_seeds(self, seed):
+        db, programs, expected = contended_workload(seed)
+        scheduler = Scheduler(db, strategy="mcs")
+        engine = SimulationEngine(scheduler, RandomInterleaving(seed + 1))
+        for program in programs:
+            engine.add(static_order_variant(program))
+        result = engine.run()
+        assert result.final_state == expected
+        assert result.metrics.deadlocks == 0
+
+
+class TestPreclaim:
+    def test_solo_transaction(self):
+        db = Database({"a": 0})
+        scheduler = PreclaimScheduler(db)
+        scheduler.register(TransactionProgram("T", [
+            ops.lock_exclusive("a"),
+            ops.write("a", ops.entity("a") + ops.const(1)),
+        ]))
+        scheduler.run_until_quiescent()
+        assert db["a"] == 1
+
+    def test_no_deadlocks_under_contention(self):
+        db, programs, expected = contended_workload()
+        scheduler = PreclaimScheduler(db)
+        engine = SimulationEngine(scheduler, RandomInterleaving(5))
+        for program in programs:
+            engine.add(program)
+        result = engine.run()
+        assert result.final_state == expected
+        assert result.metrics.deadlocks == 0
+        assert result.metrics.rollbacks == 0
+
+    def test_admission_is_atomic(self):
+        """A transaction whose lock set is partially unavailable must not
+        hold anything while it waits."""
+        db = Database({"a": 0, "b": 0})
+        scheduler = PreclaimScheduler(db)
+        engine = SimulationEngine(scheduler)
+        engine.add(TransactionProgram("T1", [
+            ops.lock_exclusive("a"),
+            ops.write("a", ops.entity("a") + ops.const(1)),
+        ]))
+        engine.add(TransactionProgram("T2", [
+            ops.lock_exclusive("a"),
+            ops.lock_exclusive("b"),
+            ops.write("b", ops.entity("b") + ops.const(1)),
+        ]))
+        engine.step_transaction("T1")   # T1 admitted, holds a
+        result = engine.step_transaction("T2")
+        assert result.outcome.value == "blocked"
+        assert scheduler.lock_manager.locks_held("T2") == {}
+        final = engine.run()
+        assert final.final_state == {"a": 1, "b": 1}
+
+    def test_fifo_admission_no_starvation(self):
+        """An unstartable transaction at the head of the admission queue
+        is not overtaken indefinitely (later admissions wait for it)."""
+        db, programs, expected = contended_workload(seed=11)
+        scheduler = PreclaimScheduler(db)
+        engine = SimulationEngine(scheduler, RandomInterleaving(2))
+        for program in programs:
+            engine.add(program)
+        result = engine.run()
+        assert result.metrics.commits == len(programs)
+        assert result.final_state == expected
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_serializable_across_seeds(self, seed):
+        db, programs, expected = contended_workload(seed)
+        scheduler = PreclaimScheduler(db)
+        engine = SimulationEngine(scheduler, RandomInterleaving(seed))
+        for program in programs:
+            engine.add(program)
+        assert engine.run().final_state == expected
+
+
+class TestNoWait:
+    def test_conflict_restarts_requester(self):
+        db = Database({"a": 0})
+        scheduler = NoWaitScheduler(db, strategy="total", seed=4)
+        engine = SimulationEngine(scheduler, max_steps=50_000)
+        engine.add(TransactionProgram("T1", [
+            ops.lock_exclusive("a"),
+            ops.write("a", ops.entity("a") + ops.const(1)),
+            ops.assign("pad", ops.const(0)),
+        ]))
+        engine.add(TransactionProgram("T2", [
+            ops.lock_exclusive("a"),
+            ops.write("a", ops.entity("a") + ops.const(1)),
+        ]))
+        engine.step_transaction("T1")     # T1 holds a
+        result = engine.step_transaction("T2")
+        assert result.outcome.value == "deadlock"   # conflict -> restart
+        assert scheduler.metrics.rollbacks == 1
+        final = engine.run()
+        assert final.final_state == {"a": 2}
+
+    def test_never_blocks_on_locks(self):
+        """No-wait transactions never enter a lock queue."""
+        db, programs, expected = contended_workload(seed=2)
+        scheduler = NoWaitScheduler(db, strategy="total", seed=8)
+        engine = SimulationEngine(scheduler, RandomInterleaving(3),
+                                  max_steps=500_000)
+        for program in programs:
+            engine.add(program)
+        result = engine.run()
+        assert result.final_state == expected
+        # All rollbacks are self-restarts; nothing ever waits in a queue.
+        for event in result.metrics.rollback_events:
+            assert event.victim == event.requester
+
+    def test_partial_flavour_loses_less(self):
+        losses = {}
+        for strategy in ("total", "mcs"):
+            db, programs, expected = contended_workload(seed=5)
+            scheduler = NoWaitScheduler(db, strategy=strategy, seed=8)
+            engine = SimulationEngine(scheduler, RandomInterleaving(3),
+                                      max_steps=500_000)
+            for program in programs:
+                engine.add(program)
+            result = engine.run()
+            assert result.final_state == expected
+            losses[strategy] = result.metrics.states_lost
+        assert losses["mcs"] <= losses["total"]
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_serializable_across_seeds(self, seed):
+        db, programs, expected = contended_workload(seed)
+        scheduler = NoWaitScheduler(db, seed=seed)
+        engine = SimulationEngine(scheduler, RandomInterleaving(seed),
+                                  max_steps=500_000)
+        for program in programs:
+            engine.add(program)
+        assert engine.run().final_state == expected

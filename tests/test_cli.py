@@ -1,0 +1,65 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.strategy == "mcs"
+        assert args.policy == "ordered-min-cost"
+        assert args.transactions == 10
+
+    def test_run_custom(self):
+        args = build_parser().parse_args([
+            "run", "--strategy", "total", "--policy", "youngest",
+            "--transactions", "4", "--locks", "2", "3", "--scattered",
+        ])
+        assert args.strategy == "total"
+        assert args.locks == [2, 3]
+        assert args.scattered
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+    def test_bad_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--strategy", "zzz"])
+
+
+class TestCommands:
+    def test_run_exit_zero_and_summary(self, capsys):
+        code = main(["run", "--transactions", "5", "--entities", "5",
+                     "--seed", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "serializable: True" in out
+        assert "commits: 5" in out
+
+    def test_run_with_trace(self, capsys):
+        code = main(["run", "--transactions", "2", "--entities", "3",
+                     "--locks", "1", "2", "--trace"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "committed" in out
+
+    def test_compare_lists_all_strategies(self, capsys):
+        code = main(["compare", "--transactions", "6", "--entities", "5",
+                     "--seed", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for strategy in ("total", "mcs", "single-copy"):
+            assert strategy in out
+
+    def test_figures_reproduces_paper_numbers(self, capsys):
+        code = main(["figures"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "rollback T2 -> lock state 2 (cost 4)" in out
+        assert "livelock=True" in out          # Figure 2, min-cost
+        assert "livelock=False" in out         # Figure 2, ordered
+        assert "[0, 1, 4, 6]" in out           # Figure 4 without C<-K
+        assert "[0, 1, 2, 3, 4, 5, 6]" in out  # Figure 5

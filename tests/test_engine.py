@@ -1,0 +1,182 @@
+"""Unit tests for the simulation engine, interleavings, and traces."""
+
+import pytest
+
+from repro import Database, Scheduler, TransactionProgram, ops
+from repro.core.scheduler import StepOutcome
+from repro.errors import SimulationError
+from repro.simulation import (
+    RandomInterleaving,
+    RoundRobin,
+    Scripted,
+    SimulationEngine,
+    Trace,
+)
+
+
+def make_engine(interleaving=None, n=3, **kwargs):
+    db = Database({"a": 0, "b": 0, "c": 0})
+    scheduler = Scheduler(db)
+    engine = SimulationEngine(scheduler, interleaving, **kwargs)
+    entities = ["a", "b", "c"]
+    for i in range(n):
+        entity = entities[i % 3]
+        engine.add(TransactionProgram(f"T{i + 1}", [
+            ops.lock_exclusive(entity),
+            ops.write(entity, ops.entity(entity) + ops.const(1)),
+        ]))
+    return engine
+
+
+class TestInterleavings:
+    def test_round_robin_cycles(self):
+        policy = RoundRobin()
+        assert policy.choose(["T1", "T2", "T3"], 0) == "T1"
+        assert policy.choose(["T1", "T2", "T3"], 1) == "T2"
+        assert policy.choose(["T1", "T2", "T3"], 2) == "T3"
+        assert policy.choose(["T1", "T2", "T3"], 3) == "T1"
+
+    def test_round_robin_skips_missing(self):
+        policy = RoundRobin()
+        policy.choose(["T1", "T2"], 0)
+        assert policy.choose(["T3"], 1) == "T3"
+
+    def test_round_robin_reset(self):
+        policy = RoundRobin()
+        policy.choose(["T1", "T2"], 0)
+        policy.reset()
+        assert policy.choose(["T1", "T2"], 0) == "T1"
+
+    def test_random_deterministic_by_seed(self):
+        a = [RandomInterleaving(5).choose(["T1", "T2", "T3"], i)
+             for i in range(20)]
+        b = [RandomInterleaving(5).choose(["T1", "T2", "T3"], i)
+             for i in range(20)]
+        assert a == b
+
+    def test_random_reset_restores_sequence(self):
+        policy = RandomInterleaving(5)
+        first = [policy.choose(["T1", "T2"], i) for i in range(10)]
+        policy.reset()
+        again = [policy.choose(["T1", "T2"], i) for i in range(10)]
+        assert first == again
+
+    def test_scripted_follows_schedule(self):
+        policy = Scripted(["T2", "T1", "T2"])
+        assert policy.choose(["T1", "T2"], 0) == "T2"
+        assert policy.choose(["T1", "T2"], 1) == "T1"
+        assert policy.choose(["T1", "T2"], 2) == "T2"
+        assert policy.exhausted
+
+    def test_scripted_skips_unavailable(self):
+        policy = Scripted(["T9", "T1"])
+        assert policy.choose(["T1"], 0) == "T1"
+
+    def test_scripted_tuple_expansion(self):
+        policy = Scripted([("T1", 2), "T2"])
+        assert policy.choose(["T1", "T2"], 0) == "T1"
+        assert policy.choose(["T1", "T2"], 1) == "T1"
+        assert policy.choose(["T1", "T2"], 2) == "T2"
+
+    def test_scripted_falls_back_to_round_robin(self):
+        policy = Scripted(["T1"])
+        policy.choose(["T1", "T2"], 0)
+        assert policy.choose(["T1", "T2"], 1) in ("T1", "T2")
+
+
+class TestEngineRun:
+    def test_run_commits_everything(self):
+        engine = make_engine()
+        result = engine.run()
+        assert sorted(result.committed) == ["T1", "T2", "T3"]
+        assert result.metrics.commits == 3
+        assert result.final_state == {"a": 1, "b": 1, "c": 1}
+        assert not result.livelock_detected
+
+    def test_same_seed_same_trace(self):
+        r1 = make_engine(RandomInterleaving(3)).run()
+        r2 = make_engine(RandomInterleaving(3)).run()
+        assert [str(e) for e in r1.trace] == [str(e) for e in r2.trace]
+
+    def test_step_budget(self):
+        engine = make_engine(max_steps=2)
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_run_for_and_run_to_block(self):
+        db = Database({"a": 0})
+        scheduler = Scheduler(db)
+        engine = SimulationEngine(scheduler)
+        engine.add(TransactionProgram("T1", [
+            ops.lock_exclusive("a"),
+            ops.write("a", ops.const(1)),
+            ops.assign("x", ops.const(0)),
+        ]))
+        engine.add(TransactionProgram("T2", [
+            ops.lock_exclusive("a"),
+        ]))
+        engine.run_for("T1", 2)
+        result = engine.run_to_block("T2")
+        assert result.outcome is StepOutcome.BLOCKED
+
+    def test_run_to_block_on_committing_txn(self):
+        db = Database({"a": 0})
+        scheduler = Scheduler(db)
+        engine = SimulationEngine(scheduler)
+        engine.add(TransactionProgram("T1", [ops.lock_exclusive("a")]))
+        result = engine.run_to_block("T1")
+        assert result.outcome is StepOutcome.COMMITTED
+
+
+class TestTrace:
+    def test_records_operations(self):
+        engine = make_engine(RoundRobin(), n=1)
+        result = engine.run()
+        ops_seen = [e.operation for e in result.trace]
+        assert ops_seen[0] == "lock_x(a)"
+        assert ops_seen[-1] == "commit"
+
+    def test_commits_in_order(self):
+        engine = make_engine()
+        result = engine.run()
+        assert len(result.trace.commits_in_order()) == 3
+
+    def test_filter_by_outcome(self):
+        engine = make_engine()
+        result = engine.run()
+        committed = result.trace.events(StepOutcome.COMMITTED)
+        assert len(committed) == 3
+
+    def test_render_limits(self):
+        trace = Trace()
+        assert trace.render() == ""
+
+    def test_deadlock_events_carry_cycles(self):
+        db = Database({"a": 0, "b": 0})
+        scheduler = Scheduler(db)
+        engine = SimulationEngine(scheduler)
+        engine.add(TransactionProgram("T1", [
+            ops.lock_exclusive("a"), ops.lock_exclusive("b"),
+            ops.write("b", ops.const(1)),
+        ]))
+        engine.add(TransactionProgram("T2", [
+            ops.lock_exclusive("b"), ops.lock_exclusive("a"),
+            ops.write("a", ops.const(1)),
+        ]))
+        result = engine.run()
+        deadlocks = result.trace.deadlock_events()
+        assert len(deadlocks) == 1
+        assert deadlocks[0].cycles
+        assert deadlocks[0].actions
+
+
+class TestLivelockDetection:
+    def test_window_zero_disables(self):
+        engine = make_engine(livelock_window=0)
+        result = engine.run()
+        assert not result.livelock_detected
+
+    def test_no_false_positive_on_busy_run(self):
+        engine = make_engine(livelock_window=10_000)
+        result = engine.run()
+        assert not result.livelock_detected

@@ -1,0 +1,48 @@
+"""Unit tests for repro.storage.entity."""
+
+import pytest
+
+from repro.storage.entity import Entity, any_value
+
+
+class TestEntity:
+    def test_basic_construction(self):
+        e = Entity("a", 5)
+        assert e.name == "a"
+        assert e.value == 5
+
+    def test_default_value_is_zero(self):
+        assert Entity("a").value == 0
+
+    def test_install_changes_value(self):
+        e = Entity("a", 1)
+        e.install(42)
+        assert e.value == 42
+
+    def test_install_enforces_range(self):
+        e = Entity("a", 1, value_range=lambda v: 0 <= v <= 10)
+        with pytest.raises(ValueError):
+            e.install(11)
+        assert e.value == 1  # unchanged after failed install
+
+    def test_initial_value_must_be_in_range(self):
+        with pytest.raises(ValueError):
+            Entity("a", -1, value_range=lambda v: v >= 0)
+
+    def test_range_accepts_boundary(self):
+        e = Entity("a", 0, value_range=lambda v: 0 <= v <= 10)
+        e.install(10)
+        assert e.value == 10
+
+    def test_any_value_accepts_everything(self):
+        assert any_value(None)
+        assert any_value(object())
+        assert any_value(-1e30)
+
+    def test_hashable_by_name(self):
+        assert hash(Entity("x", 1)) == hash(Entity("x", 2))
+
+    def test_non_numeric_values_allowed(self):
+        e = Entity("doc", {"title": "a"})
+        e.install({"title": "b"})
+        assert e.value == {"title": "b"}

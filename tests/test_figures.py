@@ -1,0 +1,211 @@
+"""Reproduction tests for the paper's Figures 1–5 (experiments E1–E6).
+
+Every number the paper's prose states is asserted here: the Figure 1
+rollback costs (4/6/5) and victim (T2), the Figure 2 mutual-preemption
+livelock and its Theorem-2 cure, the Figure 3 graph shapes and victim
+sets, and the Figure 4/5 well-defined state sets.
+"""
+
+import pytest
+
+from repro.analysis import (
+    drive_figure1,
+    drive_figure2,
+    figure3a,
+    figure3b,
+    figure3c,
+    figure4_transaction,
+    figure4_transaction_without_ck,
+    figure5_transaction,
+    well_defined_states,
+)
+from repro.core.scheduler import StepOutcome
+from repro.core.victim import MinCostPolicy, VictimContext
+
+
+class TestFigure1:
+    """E1: exclusive-lock deadlock, cost-optimal victim selection."""
+
+    def test_deadlock_forms_with_paper_cycle(self):
+        _engine, result = drive_figure1(policy="min-cost")
+        assert result.outcome is StepOutcome.DEADLOCK
+        assert result.deadlock.requester == "T4"
+        assert [set(c) for c in result.deadlock.cycles] == [
+            {"T2", "T3", "T4"}
+        ]
+
+    def test_costs_match_paper(self):
+        """§3.1 states: cost(T2) = 12-8 = 4, cost(T3) = 11-5 = 6,
+        cost(T4) = 15-10 = 5.  Capture them at selection time."""
+
+        class RecordingPolicy(MinCostPolicy):
+            recorded: dict = {}
+
+            def select(self, ctx: VictimContext):
+                self.recorded = {
+                    t: ctx.cost_of(t) for t in ctx.deadlock.members
+                }
+                return super().select(ctx)
+
+        policy = RecordingPolicy()
+        engine, _result = drive_figure1(policy=policy)
+        assert policy.recorded == {"T2": 4, "T3": 6, "T4": 5}
+        event = engine.scheduler.metrics.rollback_events[0]
+        assert event.victim == "T2"
+        assert event.states_lost == 4
+
+    def test_min_cost_chooses_t2(self):
+        _engine, result = drive_figure1(policy="min-cost")
+        assert [a.txn_id for a in result.actions] == ["T2"]
+        assert result.actions[0].cost == 4
+
+    def test_rollback_is_partial_keeps_f(self):
+        engine, result = drive_figure1(policy="min-cost")
+        # T2 was rolled back to lock state 2: f (ordinal 1) survives.
+        assert engine.scheduler.lock_manager.holds("T2", "f") is not None
+        assert engine.scheduler.lock_manager.holds("T2", "b") is None
+
+    def test_figure1b_t1_no_longer_waits_for_t2(self):
+        engine, _result = drive_figure1(policy="min-cost")
+        graph = engine.scheduler.concurrency_graph()
+        holders_blocking_t1 = {arc.holder for arc in graph.waits_of("T1")}
+        assert "T2" not in holders_blocking_t1
+
+    def test_exclusive_graph_is_forest_before_deadlock(self):
+        engine, result = drive_figure1(policy="min-cost")
+        # After resolution the graph must be a forest again (Theorem 1).
+        assert engine.scheduler.concurrency_graph().is_forest()
+
+
+class TestFigure2:
+    """E2: potentially infinite mutual preemption and Theorem 2's cure."""
+
+    def test_min_cost_livelocks(self):
+        result = drive_figure2("min-cost")
+        assert result.livelock_detected
+        # T2 and T3 preempt each other over and over.
+        by_victim = result.metrics.rollbacks_by_victim
+        assert by_victim["T2"] > 5
+        assert by_victim["T3"] > 5
+
+    def test_configuration_recurs(self):
+        """The same (victim, target) configuration repeats — the paper's
+        signature of a potentially infinite scenario."""
+        result = drive_figure2("min-cost")
+        signatures = [
+            (e.victim, e.target_ordinal, e.states_lost)
+            for e in result.metrics.rollback_events
+        ]
+        assert len(signatures) > 10
+        # The tail alternates between exactly two signatures.
+        tail = signatures[-8:]
+        assert len(set(tail)) == 2
+
+    def test_ordered_min_cost_terminates(self):
+        result = drive_figure2("ordered-min-cost")
+        assert not result.livelock_detected
+        assert sorted(result.committed) == ["T1", "T2", "T3", "T4"]
+
+    def test_ordered_never_mutually_preempts(self):
+        result = drive_figure2("ordered-min-cost")
+        assert result.metrics.mutual_preemption_pairs() == set()
+
+    def test_requester_policy_terminates_too(self):
+        result = drive_figure2("requester")
+        assert not result.livelock_detected
+        assert len(result.committed) == 4
+
+    def test_database_consistent_after_ordered_run(self):
+        result = drive_figure2("ordered-min-cost")
+        # Every entity written exactly once by the surviving programs:
+        # T2 wrote e, b, f; T3 wrote c; T4 wrote e... the increments are
+        # commutative, so just check the counts the programs imply.
+        assert result.final_state["b"] == 2   # T1 and T2 both increment b
+        assert result.final_state["e"] == 2   # T2 and T4
+        assert result.final_state["c"] == 1   # T3
+        assert result.final_state["f"] == 1   # T2
+
+
+class TestFigure3:
+    """E3: shared+exclusive concurrency graphs."""
+
+    def test_3a_dag_not_forest_no_deadlock(self):
+        graph = figure3a()
+        assert not graph.is_forest()
+        assert not graph.has_deadlock()
+
+    def test_3b_two_cycles_all_through_t1(self):
+        graph = figure3b()
+        cycles = graph.cycles_through("T1")
+        assert len(cycles) == 2
+        for cycle in cycles:
+            assert "T1" in cycle
+
+    def test_3b_rollback_of_t1_or_t2_removes_all(self):
+        graph = figure3b()
+        cycles = graph.cycles_through("T1")
+        for single in ("T1", "T2"):
+            assert all(single in cycle for cycle in cycles)
+
+    def test_3c_t1_alone_or_both_others(self):
+        graph = figure3c()
+        cycles = graph.cycles_through("T1")
+        assert len(cycles) == 2
+        assert all("T1" in cycle for cycle in cycles)
+        # Without T1, the only cover is {T2, T3}.
+        others = [set(c) - {"T1"} for c in cycles]
+        assert others == [{"T2"}, {"T3"}] or others == [{"T3"}, {"T2"}]
+
+    def test_3c_exclusive_request_on_shared_entity_closes_both(self):
+        """The closing wait arcs come from one exclusive request on an
+        entity shared-held by T2 and T3 (both arcs labeled ``f``)."""
+        graph = figure3c()
+        entities = {arc.entity for arc in graph.waits_of("T1")}
+        assert entities == {"f"}
+
+
+class TestFigure4:
+    """E5: state-dependency graph; only trivial states well-defined."""
+
+    def test_only_trivial_states_well_defined(self):
+        program = figure4_transaction()
+        states = well_defined_states(program)
+        # Paper: "the only well-defined states are the trivial ones".
+        # In this library's indexing the trivial states are 0 (initial),
+        # 1 (before the first lock: identical to 0 since nothing precedes
+        # the first lock request), and 6 (the current frontier).
+        assert states == [0, 1, 6]
+
+    def test_deleting_ck_write_frees_state_4(self):
+        program = figure4_transaction_without_ck()
+        states = well_defined_states(program)
+        assert 4 in states
+        assert states == [0, 1, 4, 6]
+
+    def test_six_lock_states(self):
+        program = figure4_transaction()
+        assert len(program.lock_operations) == 6
+
+
+class TestFigure5:
+    """E6: clustering the writes makes every lock state well-defined."""
+
+    def test_all_states_well_defined(self):
+        program = figure5_transaction()
+        assert well_defined_states(program) == [0, 1, 2, 3, 4, 5, 6]
+
+    def test_same_write_multiset_as_figure4(self):
+        from repro.core.operations import Write
+
+        def writes(p):
+            return sorted(
+                op.entity_name for op in p.operations
+                if isinstance(op, Write)
+            )
+
+        assert writes(figure5_transaction()) == writes(figure4_transaction())
+
+    def test_strictly_more_well_defined_than_figure4(self):
+        assert len(well_defined_states(figure5_transaction())) > len(
+            well_defined_states(figure4_transaction())
+        )

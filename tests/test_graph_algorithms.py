@@ -1,0 +1,261 @@
+"""Unit and property tests for repro.graphs.algorithms.
+
+Several algorithms are cross-checked against networkx (a test-only
+dependency) on randomly generated graphs.
+"""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import algorithms as alg
+
+
+class TestFindCycleThrough:
+    def test_no_cycle(self):
+        graph = {"a": {"b"}, "b": {"c"}}
+        assert alg.find_cycle_through(graph, "a") is None
+
+    def test_self_not_on_cycle(self):
+        graph = {"a": {"b"}, "b": {"c"}, "c": {"b"}}
+        assert alg.find_cycle_through(graph, "a") is None
+
+    def test_two_cycle(self):
+        graph = {"a": {"b"}, "b": {"a"}}
+        cycle = alg.find_cycle_through(graph, "a")
+        assert cycle == ["a", "b"]
+
+    def test_longer_cycle(self):
+        graph = {"a": {"b"}, "b": {"c"}, "c": {"a"}}
+        cycle = alg.find_cycle_through(graph, "b")
+        assert cycle is not None
+        assert cycle[0] == "b"
+        assert len(cycle) == 3
+
+
+class TestSimpleCyclesThrough:
+    def test_multiple_cycles(self):
+        graph = {
+            "r": {"x", "y"},
+            "x": {"r"},
+            "y": {"z"},
+            "z": {"r"},
+        }
+        cycles = alg.simple_cycles_through(graph, "r")
+        as_sets = {frozenset(c) for c in cycles}
+        assert as_sets == {frozenset({"r", "x"}), frozenset({"r", "y", "z"})}
+
+    def test_all_cycles_start_at_origin(self):
+        graph = {"a": {"b"}, "b": {"c"}, "c": {"a", "b"}}
+        for cycle in alg.simple_cycles_through(graph, "a"):
+            assert cycle[0] == "a"
+
+    def test_limit_caps_enumeration(self):
+        # Complete digraph on 6 nodes has many cycles through node 0.
+        nodes = list(range(6))
+        graph = {n: set(nodes) - {n} for n in nodes}
+        cycles = alg.simple_cycles_through(graph, 0, limit=5)
+        assert len(cycles) == 5
+
+    def test_no_cycles(self):
+        graph = {"a": {"b"}, "b": set()}
+        assert alg.simple_cycles_through(graph, "a") == []
+
+
+class TestHasCycleAndForest:
+    def test_empty_graph(self):
+        assert not alg.has_cycle({})
+        assert alg.is_forest({})
+
+    def test_tree_is_forest(self):
+        graph = {"r": {"a", "b"}, "a": {"c"}}
+        assert alg.is_forest(graph)
+
+    def test_two_trees_are_forest(self):
+        graph = {"r1": {"a"}, "r2": {"b"}}
+        assert alg.is_forest(graph)
+
+    def test_diamond_not_forest(self):
+        """In-degree 2 without a cycle: a DAG but not a forest."""
+        graph = {"a": {"c"}, "b": {"c"}}
+        assert not alg.is_forest(graph)
+        assert not alg.has_cycle(graph)
+
+    def test_cycle_not_forest(self):
+        graph = {"a": {"b"}, "b": {"a"}}
+        assert alg.has_cycle(graph)
+        assert not alg.is_forest(graph)
+
+    def test_self_loop(self):
+        assert alg.has_cycle({"a": {"a"}})
+
+
+@settings(max_examples=60)
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 8), st.integers(0, 8)),
+        max_size=25,
+    )
+)
+def test_has_cycle_matches_networkx(edges):
+    graph = {}
+    g = nx.DiGraph()
+    g.add_nodes_from(range(9))
+    for u, v in edges:
+        graph.setdefault(u, set()).add(v)
+        g.add_edge(u, v)
+    assert alg.has_cycle(graph) == (not nx.is_directed_acyclic_graph(g))
+
+
+class TestDescendants:
+    def test_simple_chain(self):
+        graph = {"a": {"b"}, "b": {"c"}}
+        assert alg.descendants(graph, "a") == {"b", "c"}
+        assert alg.descendants(graph, "c") == set()
+
+    def test_cycle_includes_self(self):
+        graph = {"a": {"b"}, "b": {"a"}}
+        assert alg.descendants(graph, "a") == {"a", "b"}
+
+
+class TestArticulationPoints:
+    def test_path_graph(self):
+        adj = {0: {1}, 1: {0, 2}, 2: {1, 3}, 3: {2}}
+        assert alg.articulation_points(adj) == {1, 2}
+
+    def test_cycle_has_none(self):
+        adj = {0: {1, 2}, 1: {0, 2}, 2: {0, 1}}
+        assert alg.articulation_points(adj) == set()
+
+    def test_bridge_vertex(self):
+        # Two triangles joined at vertex 2.
+        adj = {
+            0: {1, 2}, 1: {0, 2}, 2: {0, 1, 3, 4},
+            3: {2, 4}, 4: {2, 3},
+        }
+        assert alg.articulation_points(adj) == {2}
+
+    def test_long_path_no_recursion_error(self):
+        n = 5000
+        adj = {i: set() for i in range(n)}
+        for i in range(n - 1):
+            adj[i].add(i + 1)
+            adj[i + 1].add(i)
+        points = alg.articulation_points(adj)
+        assert points == set(range(1, n - 1))
+
+
+@settings(max_examples=60)
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 9), st.integers(0, 9)).filter(
+            lambda e: e[0] != e[1]
+        ),
+        max_size=25,
+    )
+)
+def test_articulation_points_match_networkx(edges):
+    adj = {}
+    g = nx.Graph()
+    for u, v in edges:
+        adj.setdefault(u, set()).add(v)
+        adj.setdefault(v, set()).add(u)
+        g.add_edge(u, v)
+    expected = set(nx.articulation_points(g)) if len(g) else set()
+    assert alg.articulation_points(adj) == expected
+
+
+class TestVertexCuts:
+    def cost_table(self, costs):
+        return lambda v: costs[v]
+
+    def test_single_cycle_cheapest_vertex(self):
+        cycles = [["a", "b", "c"]]
+        cut = alg.min_cost_vertex_cut(
+            cycles, self.cost_table({"a": 5, "b": 1, "c": 3})
+        )
+        assert cut == {"b"}
+
+    def test_shared_vertex_beats_two_cheap(self):
+        cycles = [["r", "x"], ["r", "y"]]
+        cut = alg.min_cost_vertex_cut(
+            cycles, self.cost_table({"r": 3, "x": 2, "y": 2})
+        )
+        assert cut == {"r"}
+
+    def test_two_cheap_beat_shared_vertex(self):
+        cycles = [["r", "x"], ["r", "y"]]
+        cut = alg.min_cost_vertex_cut(
+            cycles, self.cost_table({"r": 10, "x": 2, "y": 2})
+        )
+        assert cut == {"x", "y"}
+
+    def test_larger_set_can_be_cheaper(self):
+        """Regression: the optimum may have larger cardinality."""
+        cycles = [["a", "p"], ["b", "q"], ["c", "r"]]
+        costs = {"a": 1, "b": 1, "c": 1, "p": 100, "q": 100, "r": 100}
+        cut = alg.min_cost_vertex_cut(cycles, self.cost_table(costs))
+        assert cut == {"a", "b", "c"}
+
+    def test_candidate_restriction(self):
+        cycles = [["a", "b", "c"]]
+        cut = alg.min_cost_vertex_cut(
+            cycles, self.cost_table({"a": 5, "b": 1, "c": 3}),
+            candidates={"a", "c"},
+        )
+        assert cut == {"c"}
+
+    def test_no_cut_within_candidates_raises(self):
+        cycles = [["a", "b"], ["c", "d"]]
+        with pytest.raises(ValueError):
+            alg.min_cost_vertex_cut(
+                cycles, lambda v: 1, candidates={"a"}
+            )
+
+    def test_empty_cycles(self):
+        assert alg.min_cost_vertex_cut([], lambda v: 1) == set()
+
+    def test_too_many_candidates_rejected(self):
+        cycles = [[f"v{i}" for i in range(30)]]
+        with pytest.raises(ValueError):
+            alg.min_cost_vertex_cut(cycles, lambda v: 1)
+
+    def test_greedy_hits_all_cycles(self):
+        cycles = [["a", "b"], ["b", "c"], ["c", "d"]]
+        cut = alg.greedy_vertex_cut(cycles, lambda v: 1)
+        for cycle in cycles:
+            assert cut & set(cycle)
+
+    def test_greedy_prefers_coverage(self):
+        cycles = [["r", "x"], ["r", "y"], ["r", "z"]]
+        cut = alg.greedy_vertex_cut(
+            cycles, self.cost_table({"r": 2, "x": 1, "y": 1, "z": 1})
+        )
+        assert cut == {"r"}
+
+
+@settings(max_examples=40)
+@given(
+    data=st.data(),
+    n_cycles=st.integers(1, 4),
+)
+def test_greedy_cut_is_valid_and_exact_is_optimal(data, n_cycles):
+    """Property: greedy always produces a valid cut; exact is never more
+    expensive than greedy."""
+    vertices = list("abcdef")
+    cycles = [
+        data.draw(
+            st.lists(st.sampled_from(vertices), min_size=1, max_size=4,
+                     unique=True)
+        )
+        for _ in range(n_cycles)
+    ]
+    costs = {
+        v: data.draw(st.integers(1, 9), label=f"cost-{v}") for v in vertices
+    }
+    greedy = alg.greedy_vertex_cut(cycles, costs.__getitem__)
+    exact = alg.min_cost_vertex_cut(cycles, costs.__getitem__)
+    for cycle in cycles:
+        assert greedy & set(cycle)
+        assert exact & set(cycle)
+    assert sum(costs[v] for v in exact) <= sum(costs[v] for v in greedy)

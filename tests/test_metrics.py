@@ -1,0 +1,112 @@
+"""Unit tests for repro.core.metrics."""
+
+from repro.core.metrics import Metrics
+
+
+class TestRollbackAccounting:
+    def test_record_partial(self):
+        m = Metrics()
+        m.record_rollback("T1", "T2", target_ordinal=2, ideal_ordinal=2,
+                          states_lost=5)
+        assert m.rollbacks == 1
+        assert m.partial_rollbacks == 1
+        assert m.total_rollbacks == 0
+        assert m.states_lost == 5
+
+    def test_record_total(self):
+        m = Metrics()
+        m.record_rollback("T1", "T2", target_ordinal=0, ideal_ordinal=1,
+                          states_lost=9)
+        assert m.total_rollbacks == 1
+        assert m.partial_rollbacks == 0
+
+    def test_mean_states_lost(self):
+        m = Metrics()
+        assert m.mean_states_lost == 0.0
+        m.record_rollback("T1", "T2", 1, 1, 4)
+        m.record_rollback("T1", "T2", 1, 1, 6)
+        assert m.mean_states_lost == 5.0
+
+    def test_events_recorded(self):
+        m = Metrics()
+        m.record_rollback("T1", "T2", 1, 2, 4)
+        event = m.rollback_events[0]
+        assert (event.victim, event.requester) == ("T1", "T2")
+        assert (event.target_ordinal, event.ideal_ordinal) == (1, 2)
+
+    def test_victim_counter(self):
+        m = Metrics()
+        m.record_rollback("T1", "T2", 1, 1, 1)
+        m.record_rollback("T1", "T3", 1, 1, 1)
+        assert m.rollbacks_by_victim["T1"] == 2
+
+
+class TestPreemptionPairs:
+    def test_one_direction_is_not_mutual(self):
+        m = Metrics()
+        m.record_rollback("T1", "T2", 1, 1, 1)
+        assert m.mutual_preemption_pairs() == set()
+
+    def test_mutual_pair_detected(self):
+        m = Metrics()
+        m.record_rollback("T1", "T2", 1, 1, 1)   # T2 preempts T1
+        m.record_rollback("T2", "T1", 1, 1, 1)   # T1 preempts T2
+        assert m.mutual_preemption_pairs() == {("T1", "T2")}
+
+    def test_self_rollback_not_a_preemption(self):
+        m = Metrics()
+        m.record_rollback("T1", "T1", 1, 1, 1)
+        m.record_rollback("T1", "T1", 1, 1, 1)
+        assert m.preemptions == {}
+        assert m.mutual_preemption_pairs() == set()
+
+
+class TestMisc:
+    def test_copies_peak(self):
+        m = Metrics()
+        m.observe_copies(5)
+        m.observe_copies(3)
+        m.observe_copies(9)
+        assert m.copies_peak == 9
+
+    def test_summary_keys(self):
+        m = Metrics()
+        summary = m.summary()
+        for key in ("ops_executed", "deadlocks", "rollbacks",
+                    "partial_rollbacks", "total_rollbacks", "states_lost",
+                    "overshoot_states", "mean_states_lost", "commits",
+                    "copies_peak"):
+            assert key in summary
+
+
+class TestContentionDiagnostics:
+    def test_record_block_counts_per_entity(self):
+        m = Metrics()
+        m.record_block("a")
+        m.record_block("a")
+        m.record_block("b")
+        assert m.blocks == 3
+        assert m.blocks_by_entity["a"] == 2
+        assert m.hottest_entities(1) == [("a", 2)]
+
+    def test_deadlock_entities(self):
+        m = Metrics()
+        m.record_deadlock_arcs(["x", "y", "x"])
+        assert m.deadlock_entities["x"] == 2
+        assert m.deadlock_entities["y"] == 1
+
+    def test_live_scheduler_populates_hotspots(self):
+        from repro import Database, Scheduler, TransactionProgram, ops
+        from repro.simulation import SimulationEngine
+
+        db = Database({"hot": 0, "cold": 0})
+        scheduler = Scheduler(db)
+        engine = SimulationEngine(scheduler)
+        for i in range(4):
+            engine.add(TransactionProgram(f"T{i}", [
+                ops.lock_exclusive("hot"),
+                ops.write("hot", ops.entity("hot") + ops.const(1)),
+            ]))
+        engine.run()
+        assert scheduler.metrics.hottest_entities(1)[0][0] == "hot"
+        assert scheduler.metrics.blocks_by_entity["cold"] == 0

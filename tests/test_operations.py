@@ -1,0 +1,124 @@
+"""Unit tests for repro.core.operations: expressions and op constructors."""
+
+import pytest
+
+from repro.core import ops
+from repro.core.operations import (
+    Assign,
+    BinOp,
+    Const,
+    DeclareLastLock,
+    EntityRef,
+    Lock,
+    Read,
+    Unlock,
+    Var,
+    Write,
+    evaluate,
+)
+from repro.locking import EXCLUSIVE, SHARED
+
+
+class FakeContext:
+    """Minimal EvalContext over two dicts."""
+
+    def __init__(self, locals_=None, entities=None):
+        self._locals = locals_ or {}
+        self._entities = entities or {}
+
+    def local(self, name):
+        return self._locals[name]
+
+    def entity(self, name):
+        return self._entities[name]
+
+
+class TestExpressions:
+    def test_const(self):
+        assert evaluate(Const(5), FakeContext()) == 5
+
+    def test_plain_value_is_const(self):
+        assert evaluate(42, FakeContext()) == 42
+        assert evaluate("hello", FakeContext()) == "hello"
+
+    def test_var(self):
+        ctx = FakeContext(locals_={"x": 7})
+        assert evaluate(Var("x"), ctx) == 7
+
+    def test_entity_ref(self):
+        ctx = FakeContext(entities={"a": 3})
+        assert evaluate(EntityRef("a"), ctx) == 3
+
+    def test_missing_var_raises(self):
+        with pytest.raises(KeyError):
+            evaluate(Var("zz"), FakeContext())
+
+    def test_callable_receives_context(self):
+        ctx = FakeContext(locals_={"x": 10})
+        assert evaluate(lambda c: c.local("x") * 2, ctx) == 20
+
+    def test_operator_sugar(self):
+        ctx = FakeContext(locals_={"x": 10}, entities={"a": 3})
+        assert evaluate(Var("x") + Const(1), ctx) == 11
+        assert evaluate(Var("x") - EntityRef("a"), ctx) == 7
+        assert evaluate(EntityRef("a") * Const(4), ctx) == 12
+
+    def test_nested_binop(self):
+        ctx = FakeContext(locals_={"x": 2, "y": 3})
+        expr = (Var("x") + Var("y")) * Const(10)
+        assert evaluate(expr, ctx) == 50
+
+    def test_binop_with_plain_values(self):
+        expr = BinOp(5, 3, lambda a, b: a - b, "-")
+        assert evaluate(expr, FakeContext()) == 2
+
+    def test_shorthand_constructors(self):
+        assert isinstance(ops.var("x"), Var)
+        assert isinstance(ops.entity("a"), EntityRef)
+        assert isinstance(ops.const(1), Const)
+
+    def test_reprs(self):
+        assert repr(Var("x")) == "$x"
+        assert repr(EntityRef("a")) == "@a"
+        assert repr(Const(5)) == "5"
+        assert repr(Var("x") + Const(1)) == "($x + 1)"
+
+
+class TestOperationConstructors:
+    def test_lock_shared(self):
+        op = ops.lock_shared("a")
+        assert isinstance(op, Lock)
+        assert op.mode is SHARED
+        assert op.describe() == "lock_s(a)"
+
+    def test_lock_exclusive(self):
+        op = ops.lock_exclusive("a")
+        assert op.mode is EXCLUSIVE
+        assert op.describe() == "lock_x(a)"
+
+    def test_unlock(self):
+        assert ops.unlock("a").describe() == "unlock(a)"
+        assert isinstance(ops.unlock("a"), Unlock)
+
+    def test_read(self):
+        op = ops.read("a", into="x")
+        assert isinstance(op, Read)
+        assert op.describe() == "read(a -> $x)"
+
+    def test_write(self):
+        op = ops.write("a", ops.const(1))
+        assert isinstance(op, Write)
+        assert op.describe() == "write(a <- 1)"
+
+    def test_assign(self):
+        op = ops.assign("x", ops.var("y"))
+        assert isinstance(op, Assign)
+        assert op.describe() == "assign($x <- $y)"
+
+    def test_declare_last_lock(self):
+        op = ops.declare_last_lock()
+        assert isinstance(op, DeclareLastLock)
+        assert op.describe() == "declare_last_lock()"
+
+    def test_repr_uses_describe(self):
+        assert repr(ops.unlock("a")) == "unlock(a)"

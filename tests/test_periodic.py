@@ -1,0 +1,176 @@
+"""Tests for sweep-based (periodic) deadlock detection."""
+
+import pytest
+
+from repro import Database, TransactionProgram, ops
+from repro.core.periodic import PeriodicDetectionScheduler
+from repro.core.scheduler import StepOutcome
+from repro.simulation import (
+    RandomInterleaving,
+    SimulationEngine,
+    WorkloadConfig,
+    expected_final_state,
+    generate_workload,
+)
+
+
+def two_txn_deadlock():
+    db = Database({"a": 0, "b": 0})
+    t1 = TransactionProgram("T1", [
+        ops.lock_exclusive("a"),
+        ops.write("a", ops.entity("a") + ops.const(1)),
+        ops.lock_exclusive("b"),
+        ops.write("b", ops.entity("b") + ops.const(1)),
+    ])
+    t2 = TransactionProgram("T2", [
+        ops.lock_exclusive("b"),
+        ops.write("b", ops.entity("b") + ops.const(10)),
+        ops.lock_exclusive("a"),
+        ops.write("a", ops.entity("a") + ops.const(10)),
+    ])
+    return db, t1, t2
+
+
+class TestSweepMechanics:
+    def test_block_does_not_detect(self):
+        db, t1, t2 = two_txn_deadlock()
+        scheduler = PeriodicDetectionScheduler(db, interval=1000)
+        engine = SimulationEngine(scheduler, max_steps=100_000)
+        engine.add(t1)
+        engine.add(t2)
+        engine.run_for("T1", 2)
+        engine.run_for("T2", 2)
+        result = engine.run_to_block("T1")
+        assert result.outcome is StepOutcome.BLOCKED     # no detection
+        result = engine.run_to_block("T2")
+        assert result.outcome is StepOutcome.BLOCKED     # cycle, unseen
+        assert scheduler.metrics.deadlocks == 0
+
+    def test_sweep_finds_and_resolves(self):
+        db, t1, t2 = two_txn_deadlock()
+        scheduler = PeriodicDetectionScheduler(db, interval=1000)
+        engine = SimulationEngine(scheduler, max_steps=100_000)
+        engine.add(t1)
+        engine.add(t2)
+        engine.run_for("T1", 2)
+        engine.run_for("T2", 2)
+        engine.run_to_block("T1")
+        engine.run_to_block("T2")
+        resolved = scheduler.sweep()
+        assert resolved == 1
+        assert scheduler.metrics.deadlocks == 1
+        final = engine.run()
+        assert final.final_state == {"a": 11, "b": 11}
+
+    def test_sweep_on_acyclic_graph_is_noop(self):
+        db, t1, t2 = two_txn_deadlock()
+        scheduler = PeriodicDetectionScheduler(db, interval=10)
+        scheduler.register(t1)
+        assert scheduler.sweep() == 0
+
+    def test_interval_validation(self):
+        db = Database({"a": 0})
+        with pytest.raises(ValueError):
+            PeriodicDetectionScheduler(db, interval=0)
+
+    def test_engine_idle_path_triggers_sweep(self):
+        """When every transaction is blocked the engine must idle until
+        the sweep timer unwedges the system."""
+        db, t1, t2 = two_txn_deadlock()
+        scheduler = PeriodicDetectionScheduler(db, interval=25)
+        engine = SimulationEngine(scheduler, max_steps=100_000)
+        engine.add(t1)
+        engine.add(t2)
+        result = engine.run()
+        assert result.final_state == {"a": 11, "b": 11}
+        assert scheduler.sweep_deadlocks == 1
+
+
+class TestPeriodicWorkloads:
+    @pytest.mark.parametrize("interval", [5, 60, 300])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_serializable(self, interval, seed):
+        config = WorkloadConfig(
+            n_transactions=10, n_entities=8, locks_per_txn=(2, 5),
+            write_ratio=0.9, skew="hotspot",
+        )
+        db, programs = generate_workload(config, seed=seed)
+        expected = expected_final_state(db, programs)
+        scheduler = PeriodicDetectionScheduler(db, interval=interval)
+        engine = SimulationEngine(
+            scheduler, RandomInterleaving(seed + 5), max_steps=400_000,
+        )
+        for program in programs:
+            engine.add(program)
+        result = engine.run()
+        assert result.final_state == expected
+
+    def test_longer_interval_more_blocked_time(self):
+        blocked = {}
+        for interval in (5, 200):
+            total = 0
+            for seed in range(3):
+                config = WorkloadConfig(
+                    n_transactions=10, n_entities=8,
+                    locks_per_txn=(2, 5), write_ratio=0.9,
+                    skew="hotspot",
+                )
+                db, programs = generate_workload(config, seed=seed)
+                scheduler = PeriodicDetectionScheduler(
+                    db, interval=interval
+                )
+                engine = SimulationEngine(
+                    scheduler, RandomInterleaving(seed + 5),
+                    max_steps=400_000,
+                )
+                for program in programs:
+                    engine.add(program)
+                engine.run()
+                total += scheduler.blocked_step_total
+            blocked[interval] = total
+        assert blocked[200] > blocked[5]
+
+
+class TestDynamicArrivals:
+    def test_add_at_admits_later(self):
+        db = Database({"a": 0})
+        from repro import Scheduler
+
+        scheduler = Scheduler(db)
+        engine = SimulationEngine(scheduler)
+        engine.add(TransactionProgram("T1", [
+            ops.lock_exclusive("a"),
+            ops.write("a", ops.entity("a") + ops.const(1)),
+        ]))
+        engine.add_at(50, TransactionProgram("T2", [
+            ops.lock_exclusive("a"),
+            ops.write("a", ops.entity("a") + ops.const(10)),
+        ]))
+        result = engine.run()
+        assert result.final_state == {"a": 11}
+        # Entry order follows arrival: T2 is the later entrant.
+        assert (
+            scheduler.transaction("T2").entry_order
+            > scheduler.transaction("T1").entry_order
+        )
+
+    def test_arrival_into_idle_system(self):
+        db = Database({"a": 0})
+        from repro import Scheduler
+
+        scheduler = Scheduler(db)
+        engine = SimulationEngine(scheduler)
+        engine.add_at(100, TransactionProgram("LATE", [
+            ops.lock_exclusive("a"),
+            ops.write("a", ops.const(7)),
+        ]))
+        result = engine.run()
+        assert result.final_state == {"a": 7}
+
+    def test_negative_arrival_rejected(self):
+        db = Database({"a": 0})
+        from repro import Scheduler
+
+        engine = SimulationEngine(Scheduler(db))
+        with pytest.raises(ValueError):
+            engine.add_at(-1, TransactionProgram("T", []))

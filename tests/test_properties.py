@@ -1,0 +1,277 @@
+"""Property-based tests over randomly generated transaction programs.
+
+Two master properties:
+
+1. **Rollback transparency** — interrupting a solo transaction with a
+   forced rollback to any strategy-reachable lock state, then letting it
+   re-execute, must produce exactly the final database state of an
+   undisturbed run.  This exercises the entire restore path (entity
+   copies, local variables, lock re-acquisition) for all three
+   strategies.
+
+2. **Serializability under contention** — any mix of generated increment
+   transactions, any strategy, any policy, any seeded interleaving must
+   land on the unique serial final state (or, for the unordered min-cost
+   policy only, be flagged as livelocked).
+"""
+
+import random as _random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import Database, Scheduler, TransactionProgram, ops
+from repro.core.transaction import TxnStatus
+from repro.simulation import (
+    RandomInterleaving,
+    SimulationEngine,
+    WorkloadConfig,
+    expected_final_state,
+    generate_workload,
+)
+
+ENTITIES = ["a", "b", "c", "d"]
+
+
+@st.composite
+def solo_programs(draw):
+    """A random valid 2PL program over a small entity set.
+
+    Structure: a sequence of segments, one per locked entity; after each
+    lock, a random mix of reads, local assigns, and writes to any held
+    entity (scattering included).
+    """
+    count = draw(st.integers(1, 4))
+    entities = draw(
+        st.permutations(ENTITIES).map(lambda p: list(p)[:count])
+    )
+    operations = []
+    held = []
+    for entity in entities:
+        operations.append(ops.lock_exclusive(entity))
+        held.append(entity)
+        n_ops = draw(st.integers(0, 4))
+        for _ in range(n_ops):
+            kind = draw(st.sampled_from(["read", "write", "assign"]))
+            target = draw(st.sampled_from(held))
+            if kind == "read":
+                operations.append(ops.read(target, into=f"v_{target}"))
+            elif kind == "write":
+                operations.append(
+                    ops.write(
+                        target,
+                        ops.entity(target) + ops.const(draw(st.integers(1, 5))),
+                    )
+                )
+            else:
+                operations.append(
+                    ops.assign(
+                        f"l{draw(st.integers(0, 2))}",
+                        ops.const(draw(st.integers(0, 9))),
+                    )
+                )
+    return TransactionProgram("P", operations, initial_locals={"l0": 0})
+
+
+def fresh_db():
+    return Database({name: 100 for name in ENTITIES})
+
+
+def run_clean(program):
+    db = fresh_db()
+    scheduler = Scheduler(db)
+    scheduler.register(program)
+    scheduler.run_until_quiescent()
+    return db.snapshot()
+
+
+@settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow],
+          deadline=None)
+@given(
+    program=solo_programs(),
+    strategy_name=st.sampled_from(["total", "mcs", "single-copy"]),
+    interrupt_after=st.integers(0, 30),
+    target_seed=st.integers(0, 1_000),
+)
+def test_rollback_transparency(program, strategy_name, interrupt_after,
+                               target_seed):
+    expected = run_clean(program)
+
+    db = fresh_db()
+    scheduler = Scheduler(db, strategy=strategy_name)
+    txn = scheduler.register(program)
+    for _ in range(min(interrupt_after, len(program.operations))):
+        if txn.status is not TxnStatus.READY:
+            break
+        scheduler.step("P")
+    can_roll = (
+        txn.status is not TxnStatus.COMMITTED
+        and txn.pc < len(program.operations)
+        and txn.lock_count > 0
+    )
+    if can_roll:
+        rng = _random.Random(target_seed)
+        ideal = rng.randint(0, txn.lock_count)
+        target = scheduler.strategy.choose_target(txn, ideal)
+        scheduler.force_rollback("P", target, requester="P",
+                                 ideal_ordinal=ideal)
+    scheduler.run_until_quiescent()
+    assert db.snapshot() == expected
+
+
+@settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow],
+          deadline=None)
+@given(
+    program=solo_programs(),
+    strategy_name=st.sampled_from(["mcs", "single-copy"]),
+    points=st.lists(st.tuples(st.integers(0, 25), st.integers(0, 999)),
+                    max_size=3),
+)
+def test_repeated_rollbacks_still_transparent(program, strategy_name,
+                                              points):
+    """Several forced rollbacks at different points must still converge to
+    the clean final state."""
+    expected = run_clean(program)
+    db = fresh_db()
+    scheduler = Scheduler(db, strategy=strategy_name)
+    txn = scheduler.register(program)
+    for interrupt_after, target_seed in points:
+        for _ in range(min(interrupt_after, len(program.operations))):
+            if txn.status is not TxnStatus.READY:
+                break
+            if txn.pc >= len(program.operations):
+                break
+            scheduler.step("P")
+        if (
+            txn.status is not TxnStatus.COMMITTED
+            and txn.pc < len(program.operations)
+            and txn.lock_count > 0
+        ):
+            rng = _random.Random(target_seed)
+            ideal = rng.randint(0, txn.lock_count)
+            target = scheduler.strategy.choose_target(txn, ideal)
+            scheduler.force_rollback("P", target, requester="P",
+                                     ideal_ordinal=ideal)
+    scheduler.run_until_quiescent()
+    assert db.snapshot() == expected
+
+
+@settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow],
+          deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    strategy_name=st.sampled_from(["total", "mcs", "single-copy"]),
+    # Only policies with a termination guarantee: a consistent preemption
+    # order exists for each (requester/min-cost may livelock, Figure 2).
+    policy_name=st.sampled_from(
+        ["ordered-min-cost", "youngest", "oldest"]
+    ),
+    n_txns=st.integers(2, 8),
+    clustered=st.booleans(),
+    write_ratio=st.sampled_from([0.5, 1.0]),
+)
+def test_serializability_under_contention(seed, strategy_name, policy_name,
+                                          n_txns, clustered, write_ratio):
+    config = WorkloadConfig(
+        n_transactions=n_txns,
+        n_entities=5,
+        locks_per_txn=(2, 4),
+        write_ratio=write_ratio,
+        clustered_writes=clustered,
+        skew="hotspot",
+    )
+    db, programs = generate_workload(config, seed=seed)
+    expected = expected_final_state(db, programs)
+    scheduler = Scheduler(db, strategy=strategy_name, policy=policy_name)
+    engine = SimulationEngine(
+        scheduler, RandomInterleaving(seed=seed + 1),
+        max_steps=300_000, livelock_window=10_000,
+    )
+    for program in programs:
+        engine.add(program)
+    result = engine.run()
+    assert not result.livelock_detected
+    assert result.final_state == expected
+    assert result.metrics.commits == n_txns
+
+
+@settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow],
+          deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_ordered_policy_never_mutually_preempts(seed):
+    """Theorem 2's guarantee, hammered across random workloads."""
+    config = WorkloadConfig(
+        n_transactions=8, n_entities=4, locks_per_txn=(2, 4),
+        write_ratio=1.0, skew="hotspot",
+    )
+    db, programs = generate_workload(config, seed=seed)
+    scheduler = Scheduler(db, strategy="mcs", policy="ordered-min-cost")
+    engine = SimulationEngine(
+        scheduler, RandomInterleaving(seed=seed * 3 + 2),
+        max_steps=300_000, livelock_window=10_000,
+    )
+    for program in programs:
+        engine.add(program)
+    result = engine.run()
+    assert not result.livelock_detected
+    assert result.metrics.mutual_preemption_pairs() == set()
+
+
+@settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow],
+          deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_mcs_space_bound_holds_during_contention(seed):
+    """Theorem 3's n(n+1)/2 bound, observed live per transaction."""
+    from repro.core.mcs import MultiLockCopyStrategy
+
+    config = WorkloadConfig(
+        n_transactions=5, n_entities=5, locks_per_txn=(2, 5),
+        write_ratio=1.0, writes_per_entity=(1, 3),
+        clustered_writes=False,
+    )
+    db, programs = generate_workload(config, seed=seed)
+    strategy = MultiLockCopyStrategy()
+    scheduler = Scheduler(db, strategy=strategy, policy="ordered-min-cost")
+    for program in programs:
+        scheduler.register(program)
+    interleaving = RandomInterleaving(seed=seed + 9)
+    steps = 0
+    while not scheduler.all_done and steps < 100_000:
+        txn_id = interleaving.choose(scheduler.runnable(), steps)
+        scheduler.step(txn_id)
+        steps += 1
+        for txn in scheduler.transactions.values():
+            if txn.done:
+                continue
+            n = sum(1 for r in txn.lock_records if r.granted)
+            bound = n * (n + 1) // 2
+            assert strategy.entity_copies_count(txn) <= bound
+    assert scheduler.all_done
+
+
+@settings(max_examples=25, suppress_health_check=[HealthCheck.too_slow],
+          deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n_sites=st.integers(2, 4),
+    mode=st.sampled_from(["wound-wait", "wait-die"]),
+)
+def test_distributed_serializability(seed, n_sites, mode):
+    from repro.distributed import DistributedScheduler, round_robin_partition
+
+    config = WorkloadConfig(
+        n_transactions=6, n_entities=8, locks_per_txn=(2, 3),
+        write_ratio=0.8, skew="hotspot",
+    )
+    db, programs = generate_workload(config, seed=seed)
+    expected = expected_final_state(db, programs)
+    partition = round_robin_partition(db.names(), programs, n_sites)
+    scheduler = DistributedScheduler(
+        db, partition, cross_site_mode=mode, wait_timeout=100,
+    )
+    engine = SimulationEngine(
+        scheduler, RandomInterleaving(seed=seed + 5), max_steps=400_000,
+    )
+    for program in programs:
+        engine.add(program)
+    result = engine.run()
+    assert result.final_state == expected

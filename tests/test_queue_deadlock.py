@@ -1,0 +1,116 @@
+"""Regression tests for queue-induced deadlocks (FIFO + shared locks).
+
+With FIFO granting, a shared request queued behind an exclusive request
+is blocked even though it is compatible with the current holders.  Such
+queue-order blocking can complete a deadlock cycle that contains no
+direct lock conflict between the two queued transactions — invisible
+unless the waits-for graph includes queue-order edges.  These tests pin
+that behaviour (scheduler-level), complementing the unit tests on
+``LockTable.wait_edges``.
+"""
+
+import pytest
+
+from repro import Database, Scheduler, TransactionProgram, ops
+from repro.core.scheduler import StepOutcome
+from repro.simulation import SimulationEngine
+
+
+@pytest.fixture
+def system():
+    db = Database({"A": 0, "C": 0})
+    scheduler = Scheduler(db, strategy="mcs", policy="ordered-min-cost")
+    engine = SimulationEngine(scheduler, max_steps=50_000)
+    engine.add(TransactionProgram("T1", [
+        ops.lock_shared("A"),
+        ops.read("A", into="a"),
+        ops.lock_exclusive("C"),
+        ops.write("C", ops.entity("C") + ops.const(1)),
+    ]))
+    engine.add(TransactionProgram("T2", [
+        ops.lock_exclusive("A"),
+        ops.write("A", ops.entity("A") + ops.const(1)),
+    ]))
+    engine.add(TransactionProgram("T3", [
+        ops.lock_exclusive("C"),
+        ops.write("C", ops.entity("C") + ops.const(10)),
+        ops.lock_shared("A"),
+        ops.read("A", into="a"),
+    ]))
+    return db, scheduler, engine
+
+
+def drive_to_cycle(engine):
+    engine.run_for("T3", 2)       # T3 holds C
+    engine.run_for("T1", 2)       # T1 holds A shared
+    engine.run_to_block("T2")     # T2 wants A-X: waits for T1
+    engine.run_to_block("T3")     # T3 wants A-S: queued behind T2!
+    return engine.run_to_block("T1")   # T1 wants C: closes the cycle
+
+
+class TestQueueInducedCycle:
+    def test_cycle_detected_via_queue_edge(self, system):
+        _db, scheduler, engine = system
+        result = drive_to_cycle(engine)
+        assert result.outcome is StepOutcome.DEADLOCK
+        members = result.deadlock.members
+        assert members == {"T1", "T2", "T3"}
+
+    def test_conflict_only_graph_misses_it(self):
+        """Sanity: without queue edges the same cycle is invisible — the
+        reason wait_edges includes them.  Uses the periodic scheduler so
+        no resolution fires while the graphs are inspected."""
+        from repro.core.periodic import PeriodicDetectionScheduler
+
+        db = Database({"A": 0, "C": 0})
+        scheduler = PeriodicDetectionScheduler(db, interval=1_000_000)
+        engine = SimulationEngine(scheduler, max_steps=50_000)
+        engine.add(TransactionProgram("T1", [
+            ops.lock_shared("A"),
+            ops.read("A", into="a"),
+            ops.lock_exclusive("C"),
+            ops.write("C", ops.entity("C") + ops.const(1)),
+        ]))
+        engine.add(TransactionProgram("T2", [
+            ops.lock_exclusive("A"),
+            ops.write("A", ops.entity("A") + ops.const(1)),
+        ]))
+        engine.add(TransactionProgram("T3", [
+            ops.lock_exclusive("C"),
+            ops.write("C", ops.entity("C") + ops.const(10)),
+            ops.lock_shared("A"),
+            ops.read("A", into="a"),
+        ]))
+        engine.run_for("T3", 2)
+        engine.run_for("T1", 2)
+        engine.run_to_block("T2")
+        engine.run_to_block("T3")
+        engine.run_to_block("T1")
+        assert not scheduler.concurrency_graph(
+            include_queue_edges=False
+        ).has_deadlock()
+        assert scheduler.concurrency_graph(
+            include_queue_edges=True
+        ).has_deadlock()
+        # The sweep then resolves it and the system completes.
+        assert scheduler.sweep() == 1
+        result = engine.run()
+        assert result.metrics.commits == 3
+
+    def test_system_completes_after_resolution(self, system):
+        db, scheduler, engine = system
+        drive_to_cycle(engine)
+        result = engine.run()
+        assert result.metrics.commits == 3
+        assert db.snapshot() == {"A": 1, "C": 11}
+
+    def test_no_reader_overtaking(self, system):
+        """T3's shared request must NOT overtake T2's queued exclusive
+        request even though T3 is compatible with the holder."""
+        _db, scheduler, engine = system
+        engine.run_for("T3", 2)
+        engine.run_for("T1", 2)
+        engine.run_to_block("T2")
+        result = engine.run_to_block("T3")
+        assert result.outcome is StepOutcome.BLOCKED
+        assert scheduler.lock_manager.holds("T3", "A") is None

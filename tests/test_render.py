@@ -1,0 +1,69 @@
+"""Unit tests for repro.graphs.render (DOT / ASCII output)."""
+
+from repro.graphs import ConcurrencyGraph, StateDependencyGraph
+from repro.graphs.render import (
+    concurrency_to_ascii,
+    concurrency_to_dot,
+    sdg_to_ascii,
+    sdg_to_dot,
+)
+
+
+def make_graph():
+    g = ConcurrencyGraph(["T9"])
+    g.add_wait("T1", "T2", "a")
+    g.add_wait("T2", "T3", "b")
+    return g
+
+
+def make_sdg():
+    sdg = StateDependencyGraph()
+    sdg.add_lock_state()        # 1
+    sdg.record_write("x")
+    sdg.add_lock_state()        # 2
+    sdg.add_lock_state()        # 3
+    sdg.record_write("x")       # kills 2, 3
+    return sdg
+
+
+class TestConcurrencyRendering:
+    def test_dot_contains_vertices_and_arcs(self):
+        dot = concurrency_to_dot(make_graph(), title="Fig")
+        assert dot.startswith("digraph Fig {")
+        assert '"T1" -> "T2" [label="a"];' in dot
+        assert '"T2" -> "T3" [label="b"];' in dot
+        assert '"T9";' in dot
+        assert dot.endswith("}")
+
+    def test_dot_is_deterministic(self):
+        assert concurrency_to_dot(make_graph()) == concurrency_to_dot(
+            make_graph()
+        )
+
+    def test_ascii_lists_arcs_and_isolated(self):
+        text = concurrency_to_ascii(make_graph())
+        assert "T1 -[a]-> T2" in text
+        assert "isolated: T9" in text
+
+    def test_ascii_empty_graph(self):
+        assert concurrency_to_ascii(ConcurrencyGraph()) == "(empty)"
+
+
+class TestSdgRendering:
+    def test_dot_marks_well_defined(self):
+        dot = sdg_to_dot(make_sdg())
+        assert '"0" [shape=doublecircle];' in dot
+        assert '"1" [shape=doublecircle];' in dot
+        assert '"2" [shape=circle];' in dot
+        assert '"3" [shape=circle];' in dot
+        assert 'style=dashed, label="x"' in dot
+
+    def test_ascii_chain(self):
+        text = sdg_to_ascii(make_sdg())
+        assert text.startswith("[0] - [1] - (2) - (3)")
+        assert "kills: (1,3]" in text
+
+    def test_ascii_no_kills(self):
+        sdg = StateDependencyGraph()
+        sdg.add_lock_state()
+        assert sdg_to_ascii(sdg) == "[0] - [1]"

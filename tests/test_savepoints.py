@@ -1,0 +1,153 @@
+"""Tests for the savepoint API (application-facing partial rollback)."""
+
+import pytest
+
+from repro import Database, Scheduler, TransactionProgram, ops
+from repro.core.savepoints import SavepointManager
+from repro.errors import RollbackError
+
+
+def program():
+    return TransactionProgram("T1", [
+        ops.lock_exclusive("a"),                          # lock 1
+        ops.write("a", ops.entity("a") + ops.const(1)),
+        ops.lock_exclusive("b"),                          # lock 2
+        ops.write("b", ops.entity("b") + ops.const(1)),
+        ops.lock_exclusive("c"),                          # lock 3
+        ops.write("c", ops.entity("c") + ops.const(1)),
+    ])
+
+
+@pytest.fixture
+def setup():
+    db = Database({"a": 10, "b": 20, "c": 30})
+    scheduler = Scheduler(db, strategy="mcs")
+    manager = SavepointManager(scheduler)
+    txn = scheduler.register(program())
+    return db, scheduler, manager, txn
+
+
+class TestCreation:
+    def test_savepoint_records_lock_state(self, setup):
+        _db, scheduler, manager, _txn = setup
+        scheduler.step("T1")   # lock a
+        scheduler.step("T1")   # write a
+        sp = manager.create("T1", "p1")
+        assert sp.lock_ordinal == 1
+        assert manager.get("T1", "p1") is sp
+
+    def test_initial_savepoint_is_total(self, setup):
+        _db, _scheduler, manager, _txn = setup
+        sp = manager.create("T1", "start")
+        assert sp.lock_ordinal == 0
+
+    def test_duplicate_name_rejected(self, setup):
+        _db, _scheduler, manager, _txn = setup
+        manager.create("T1", "p")
+        with pytest.raises(ValueError):
+            manager.create("T1", "p")
+
+    def test_committed_transaction_rejected(self, setup):
+        _db, scheduler, manager, _txn = setup
+        scheduler.run_until_quiescent()
+        with pytest.raises(RollbackError):
+            manager.create("T1", "late")
+
+    def test_listing_sorted_by_ordinal(self, setup):
+        _db, scheduler, manager, _txn = setup
+        manager.create("T1", "zero")
+        scheduler.step("T1")
+        scheduler.step("T1")
+        manager.create("T1", "one")
+        names = [sp.name for sp in manager.savepoints("T1")]
+        assert names == ["zero", "one"]
+
+
+class TestRollback:
+    def test_rollback_restores_values_and_position(self, setup):
+        db, scheduler, manager, txn = setup
+        for _ in range(4):
+            scheduler.step("T1")   # through write b
+        manager.create("T1", "after-b-lock")   # at lock state 2
+        for _ in range(2):
+            scheduler.step("T1")   # lock c + write c
+        manager.rollback_to("T1", "after-b-lock")
+        assert txn.lock_count == 1             # b and c released
+        assert scheduler.lock_manager.holds("T1", "a") is not None
+        assert scheduler.lock_manager.holds("T1", "b") is None
+        scheduler.run_until_quiescent()
+        assert db.snapshot() == {"a": 11, "b": 21, "c": 31}
+
+    def test_rollback_discards_later_savepoints(self, setup):
+        _db, scheduler, manager, _txn = setup
+        scheduler.step("T1"); scheduler.step("T1")
+        manager.create("T1", "early")          # lock state 1
+        scheduler.step("T1"); scheduler.step("T1")
+        manager.create("T1", "late")           # lock state 2
+        manager.rollback_to("T1", "early")
+        assert [sp.name for sp in manager.savepoints("T1")] == ["early"]
+
+    def test_release_drops_without_rollback(self, setup):
+        _db, scheduler, manager, txn = setup
+        scheduler.step("T1")
+        manager.create("T1", "p")
+        manager.release("T1", "p")
+        with pytest.raises(KeyError):
+            manager.get("T1", "p")
+        assert txn.rollback_count == 0
+
+    def test_unknown_savepoint_rejected(self, setup):
+        _db, _scheduler, manager, _txn = setup
+        with pytest.raises(KeyError):
+            manager.rollback_to("T1", "nope")
+        with pytest.raises(KeyError):
+            manager.release("T1", "nope")
+
+    def test_on_commit_clears(self, setup):
+        _db, scheduler, manager, _txn = setup
+        manager.create("T1", "p")
+        scheduler.run_until_quiescent()
+        manager.on_commit("T1")
+        assert manager.savepoints("T1") == []
+
+
+class TestStrategyInteraction:
+    def test_total_strategy_only_reaches_zero(self):
+        db = Database({"a": 0, "b": 0, "c": 0})
+        scheduler = Scheduler(db, strategy="total")
+        manager = SavepointManager(scheduler)
+        scheduler.register(program())
+        start = manager.create("T1", "start")      # ordinal 0
+        scheduler.step("T1"); scheduler.step("T1")
+        mid = manager.create("T1", "mid")          # ordinal 1
+        assert manager.is_reachable(start)
+        assert not manager.is_reachable(mid)
+        with pytest.raises(RollbackError):
+            manager.rollback_to("T1", "mid")
+        assert manager.rollback_to_nearest("T1", "mid") == 0
+
+    def test_single_copy_savepoint_invalidated_by_rewrite(self):
+        db = Database({"a": 0, "b": 0, "c": 0})
+        scheduler = Scheduler(db, strategy="single-copy")
+        manager = SavepointManager(scheduler)
+        scheduler.register(TransactionProgram("T1", [
+            ops.lock_exclusive("a"),                      # lock 1
+            ops.write("a", ops.const(1)),
+            ops.lock_exclusive("b"),                      # lock 2
+            ops.write("a", ops.const(2)),   # kills lock state 2
+            ops.lock_exclusive("c"),                      # lock 3
+        ]))
+        scheduler.step("T1"); scheduler.step("T1"); scheduler.step("T1")
+        sp = manager.create("T1", "at-b")     # lock state 2, reachable now
+        assert manager.is_reachable(sp)
+        scheduler.step("T1")                  # the second write to a
+        assert not manager.is_reachable(sp)
+        assert manager.rollback_to_nearest("T1", "at-b") == 1
+
+    def test_mcs_everything_reachable(self, setup):
+        _db, scheduler, manager, _txn = setup
+        points = []
+        for i in range(6):
+            scheduler.step("T1")
+            points.append(manager.create("T1", f"p{i}"))
+        assert manager.reachable("T1") == manager.savepoints("T1")

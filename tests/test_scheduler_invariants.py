@@ -1,0 +1,84 @@
+"""Property tests over live scheduler executions.
+
+Random workloads are stepped one operation at a time with invariants
+checked after *every* step:
+
+* a transaction only ever holds locks on entities its program declares;
+* the program counter stays within bounds;
+* a blocked transaction always has a pending, ungranted lock record;
+* lock records' ordinals are dense (1..n) and granted ones are exactly
+  the locks the lock manager reports;
+* metrics counters are mutually consistent.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Scheduler
+from repro.core.transaction import TxnStatus
+from repro.simulation import (
+    RandomInterleaving,
+    WorkloadConfig,
+    expected_final_state,
+    generate_workload,
+)
+
+
+def check_invariants(scheduler):
+    for txn in scheduler.transactions.values():
+        held = scheduler.lock_manager.locks_held(txn.txn_id)
+        if not txn.done:
+            declared = txn.program.entities_accessed
+            assert set(held) <= declared, (txn.txn_id, held, declared)
+        else:
+            assert held == {}
+        assert 0 <= txn.pc <= len(txn.program.operations)
+        ordinals = [r.ordinal for r in txn.lock_records]
+        assert ordinals == list(range(1, len(ordinals) + 1))
+        if not txn.done:
+            # Commit releases the locks but keeps the records around.
+            granted = {r.entity for r in txn.lock_records if r.granted}
+            assert granted == set(held)
+        if txn.status is TxnStatus.BLOCKED:
+            pending = txn.pending_request()
+            assert pending is not None
+            assert (
+                scheduler.lock_manager.waiting_on(txn.txn_id)
+                == pending.entity
+            )
+        else:
+            assert scheduler.lock_manager.waiting_on(txn.txn_id) is None
+    metrics = scheduler.metrics
+    assert metrics.rollbacks == len(metrics.rollback_events)
+    assert metrics.states_lost == sum(
+        e.states_lost for e in metrics.rollback_events
+    )
+    assert sum(metrics.blocks_by_entity.values()) == metrics.blocks
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 5_000),
+    strategy=st.sampled_from(["total", "mcs", "single-copy", "undo-log",
+                              "k-copy:1"]),
+    write_ratio=st.sampled_from([0.6, 1.0]),
+)
+def test_stepwise_invariants(seed, strategy, write_ratio):
+    config = WorkloadConfig(
+        n_transactions=6, n_entities=5, locks_per_txn=(2, 4),
+        write_ratio=write_ratio, skew="hotspot",
+    )
+    db, programs = generate_workload(config, seed=seed)
+    expected = expected_final_state(db, programs)
+    scheduler = Scheduler(db, strategy=strategy, policy="ordered-min-cost")
+    for program in programs:
+        scheduler.register(program)
+    interleaving = RandomInterleaving(seed=seed + 13)
+    steps = 0
+    while not scheduler.all_done:
+        runnable = scheduler.runnable()
+        assert runnable, "stuck without runnable transactions"
+        scheduler.step(interleaving.choose(runnable, steps))
+        steps += 1
+        assert steps < 50_000
+        check_invariants(scheduler)
+    assert db.snapshot() == expected

@@ -1,0 +1,248 @@
+"""Unit and property tests for repro.graphs.state_dependency (§4).
+
+The key invariant, cross-checked by property tests: ``well_defined(q)`` is
+True exactly when a single-copy system could reproduce every variable's
+value at lock state *q* — i.e. for every variable, *q* lies at-or-before
+its first write or strictly after its last write.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+import pytest
+
+from repro.graphs.state_dependency import StateDependencyGraph, WriteEdge
+
+
+class TestWriteEdge:
+    def test_spans_half_open_interval(self):
+        edge = WriteEdge(2, 5, "x")
+        assert not edge.spans(2)
+        assert edge.spans(3)
+        assert edge.spans(5)
+        assert not edge.spans(6)
+
+
+class TestBasicLifecycle:
+    def test_fresh_graph(self):
+        sdg = StateDependencyGraph()
+        assert sdg.lock_count == 0
+        assert sdg.well_defined_states() == [0]
+
+    def test_lock_states_accumulate(self):
+        sdg = StateDependencyGraph()
+        assert sdg.add_lock_state() == 1
+        assert sdg.add_lock_state() == 2
+        assert sdg.well_defined_states() == [0, 1, 2]
+
+    def test_first_write_creates_no_span(self):
+        sdg = StateDependencyGraph()
+        sdg.add_lock_state()
+        assert sdg.record_write("x") is None
+        assert sdg.well_defined_states() == [0, 1]
+
+    def test_second_write_kills_intermediate_states(self):
+        sdg = StateDependencyGraph()
+        sdg.add_lock_state()          # 1
+        sdg.record_write("x")         # u(x) = 1
+        sdg.add_lock_state()          # 2
+        sdg.add_lock_state()          # 3
+        edge = sdg.record_write("x")  # interval (1, 3]
+        assert edge == WriteEdge(1, 3, "x")
+        assert sdg.well_defined_states() == [0, 1]
+        sdg.add_lock_state()          # 4
+        assert sdg.well_defined_states() == [0, 1, 4]
+
+    def test_repeated_writes_same_lock_state(self):
+        sdg = StateDependencyGraph()
+        sdg.add_lock_state()
+        sdg.record_write("x")
+        assert sdg.record_write("x") is None  # same lock index: no new kill
+        assert sdg.well_defined_states() == [0, 1]
+
+    def test_independent_variables_union_their_kills(self):
+        sdg = StateDependencyGraph()
+        sdg.add_lock_state()          # 1
+        sdg.record_write("x")         # u(x)=1
+        sdg.add_lock_state()          # 2
+        sdg.record_write("y")         # u(y)=2
+        sdg.add_lock_state()          # 3
+        sdg.record_write("x")         # kills 2, 3
+        sdg.add_lock_state()          # 4
+        sdg.record_write("y")         # kills 3, 4
+        sdg.add_lock_state()          # 5
+        assert sdg.well_defined_states() == [0, 1, 5]
+
+    def test_restorability_index(self):
+        sdg = StateDependencyGraph()
+        sdg.add_lock_state()
+        assert sdg.restorability_index("x") is None
+        sdg.record_write("x")
+        assert sdg.restorability_index("x") == 1
+
+    def test_out_of_range_queries_rejected(self):
+        sdg = StateDependencyGraph()
+        sdg.add_lock_state()
+        with pytest.raises(ValueError):
+            sdg.well_defined(2)
+        with pytest.raises(ValueError):
+            sdg.well_defined(-1)
+        with pytest.raises(ValueError):
+            sdg.truncate_to(5)
+
+
+class TestLatestWellDefined:
+    def test_exact_when_defined(self):
+        sdg = StateDependencyGraph()
+        for _ in range(3):
+            sdg.add_lock_state()
+        assert sdg.latest_well_defined_at_or_below(2) == 2
+
+    def test_clamps_down_over_killed_states(self):
+        sdg = StateDependencyGraph()
+        sdg.add_lock_state()          # 1
+        sdg.record_write("x")
+        sdg.add_lock_state()          # 2
+        sdg.add_lock_state()          # 3
+        sdg.record_write("x")         # kills 2, 3
+        assert sdg.latest_well_defined_at_or_below(3) == 1
+        assert sdg.latest_well_defined_at_or_below(2) == 1
+
+    def test_zero_always_reachable(self):
+        sdg = StateDependencyGraph()
+        sdg.add_lock_state()
+        sdg.record_write("x")
+        assert sdg.latest_well_defined_at_or_below(0) == 0
+
+
+class TestTruncate:
+    def make_graph(self):
+        sdg = StateDependencyGraph()
+        sdg.add_lock_state()          # 1
+        sdg.record_write("x")         # u(x)=1
+        sdg.add_lock_state()          # 2
+        sdg.add_lock_state()          # 3
+        sdg.record_write("x")         # (1,3]
+        sdg.add_lock_state()          # 4
+        sdg.record_write("y")         # u(y)=4
+        return sdg
+
+    def test_truncate_removes_late_writes(self):
+        sdg = self.make_graph()
+        sdg.truncate_to(3)
+        # Rolled back to lock state 3: requests 3.. undone, so lock_count
+        # is 2; the write at lock index 3 is gone, x keeps u=1.
+        assert sdg.lock_count == 2
+        assert sdg.well_defined_states() == [0, 1, 2]
+        assert sdg.restorability_index("x") == 1
+        assert sdg.restorability_index("y") is None
+
+    def test_truncate_to_zero_resets(self):
+        sdg = self.make_graph()
+        sdg.truncate_to(0)
+        assert sdg.lock_count == 0
+        assert sdg.edges == []
+        assert sdg.well_defined_states() == [0]
+
+    def test_truncate_then_regrow(self):
+        sdg = self.make_graph()
+        sdg.truncate_to(2)
+        assert sdg.lock_count == 1
+        assert sdg.add_lock_state() == 2
+        sdg.record_write("x")         # kills 2 (u(x)=1 persists)
+        assert not sdg.well_defined(2)
+
+
+class TestGraphView:
+    def test_chain_edges_present(self):
+        sdg = StateDependencyGraph()
+        sdg.add_lock_state()
+        sdg.add_lock_state()
+        adj = sdg.adjacency()
+        assert adj[0] == {1}
+        assert adj[1] == {0, 2}
+
+    def test_articulation_points_match_well_defined_interior(self):
+        """Corollary 1: for interior vertices, articulation point in G_p
+        iff the lock state is well-defined."""
+        sdg = StateDependencyGraph()
+        sdg.add_lock_state()          # 1
+        sdg.record_write("x")
+        sdg.add_lock_state()          # 2
+        sdg.add_lock_state()          # 3
+        sdg.record_write("x")         # kills 2,3
+        sdg.add_lock_state()          # 4
+        sdg.add_lock_state()          # 5
+        points = sdg.articulation_points()
+        for q in range(1, sdg.lock_count):
+            assert (q in points) == sdg.well_defined(q), q
+
+
+@st.composite
+def write_scripts(draw):
+    """A random interleaving of lock requests and variable writes."""
+    steps = draw(st.lists(
+        st.one_of(
+            st.just(("lock",)),
+            st.tuples(st.just("write"), st.sampled_from("xyz")),
+        ),
+        max_size=25,
+    ))
+    return steps
+
+
+@settings(max_examples=80)
+@given(script=write_scripts())
+def test_well_defined_matches_reference_semantics(script):
+    """Property: the SDG's answer equals the brute-force single-copy rule
+    computed from the raw write history."""
+    sdg = StateDependencyGraph()
+    history: dict[str, list[int]] = {}
+    lock_count = 0
+    for step in script:
+        if step[0] == "lock":
+            sdg.add_lock_state()
+            lock_count += 1
+        else:
+            sdg.record_write(step[1])
+            history.setdefault(step[1], []).append(lock_count)
+    for q in range(lock_count + 1):
+        expected = all(
+            q <= writes[0] or q > writes[-1]
+            for writes in history.values()
+            if writes
+        )
+        assert sdg.well_defined(q) == expected, (q, history)
+
+
+@settings(max_examples=50)
+@given(script=write_scripts(), data=st.data())
+def test_truncate_matches_replay(script, data):
+    """Property: truncating to lock state k produces the same graph as
+    replaying only the prefix of the script up to the k-th lock request."""
+    sdg = StateDependencyGraph()
+    lock_count = 0
+    for step in script:
+        if step[0] == "lock":
+            sdg.add_lock_state()
+            lock_count += 1
+        else:
+            sdg.record_write(step[1])
+    k = data.draw(st.integers(0, lock_count), label="rollback-target")
+    sdg.truncate_to(k)
+
+    # Reference: replay only the prefix strictly before the k-th lock
+    # request (a rollback to lock state k undoes requests k..n and every
+    # later operation; k = 0 undoes everything).
+    replay = StateDependencyGraph()
+    locks_seen = 0
+    if k > 0:
+        for step in script:
+            if step[0] == "lock":
+                if locks_seen + 1 == k:
+                    break
+                replay.add_lock_state()
+                locks_seen += 1
+            else:
+                replay.record_write(step[1])
+    assert sdg.lock_count == replay.lock_count
+    assert sdg.well_defined_states() == replay.well_defined_states()

@@ -1,0 +1,347 @@
+"""Unit tests for the three rollback strategies (§4).
+
+The strategies are exercised through their hook API exactly as the
+scheduler calls them: ``begin`` -> (``on_lock_request`` +
+``record_lock_request`` + ``on_lock_granted``) per lock -> reads/writes ->
+``choose_target``/``rollback``.  A tiny harness keeps the transaction's
+lock records and the strategy in lockstep.
+"""
+
+import pytest
+
+from repro.core import ops
+from repro.core.mcs import MultiLockCopyStrategy
+from repro.core.rollback import make_strategy
+from repro.core.single_copy import SingleCopyStrategy
+from repro.core.total import TotalRestartStrategy
+from repro.core.transaction import Transaction, TransactionProgram
+from repro.errors import LockError, RollbackError
+from repro.locking import EXCLUSIVE, SHARED
+
+
+class Harness:
+    """Drives a strategy the way the scheduler does."""
+
+    def __init__(self, strategy, initial_locals=None, txn_id="T1"):
+        # The program contents are irrelevant for direct strategy tests;
+        # only the initial locals matter (plus enough ops so that rollback
+        # is legal, i.e. the transaction is not complete).
+        program = TransactionProgram(
+            txn_id,
+            [ops.assign("__pad", ops.const(i)) for i in range(50)],
+            initial_locals=initial_locals or {},
+        )
+        self.txn = Transaction(program=program)
+        self.strategy = strategy
+        strategy.begin(self.txn)
+
+    def lock(self, entity, mode=EXCLUSIVE, global_value=0, advance=3):
+        """Issue and immediately grant a lock request."""
+        self.txn.pc += advance
+        record = self.txn.record_lock_request(entity, mode)
+        self.strategy.on_lock_request(self.txn)
+        record.granted = True
+        self.strategy.on_lock_granted(
+            self.txn, entity, mode, global_value, record.ordinal
+        )
+        return record
+
+    def rollback(self, ordinal):
+        self.strategy.rollback(self.txn, ordinal)
+        self.txn.apply_rollback(ordinal)
+
+
+@pytest.fixture(
+    params=["total", "mcs", "single-copy", "k-copy:0", "k-copy:2",
+            "k-copy:inf", "undo-log"]
+)
+def any_strategy(request):
+    return make_strategy(request.param)
+
+
+class TestCommonBehaviour:
+    """Contract tests all three strategies must satisfy."""
+
+    def test_initial_locals_visible(self, any_strategy):
+        h = Harness(any_strategy, initial_locals={"x": 9})
+        assert any_strategy.read_local(h.txn, "x") == 9
+
+    def test_local_write_read(self, any_strategy):
+        h = Harness(any_strategy, initial_locals={"x": 0})
+        any_strategy.write_local(h.txn, "x", 42)
+        assert any_strategy.read_local(h.txn, "x") == 42
+
+    def test_undeclared_local_created_on_write(self, any_strategy):
+        h = Harness(any_strategy)
+        any_strategy.write_local(h.txn, "fresh", 7)
+        assert any_strategy.read_local(h.txn, "fresh") == 7
+
+    def test_unknown_local_read_rejected(self, any_strategy):
+        h = Harness(any_strategy)
+        with pytest.raises(KeyError):
+            any_strategy.read_local(h.txn, "nope")
+
+    def test_exclusive_entity_read_write(self, any_strategy):
+        h = Harness(any_strategy)
+        h.lock("a", EXCLUSIVE, global_value=10)
+        assert any_strategy.read_entity(h.txn, "a") == 10
+        any_strategy.write_entity(h.txn, "a", 11)
+        assert any_strategy.read_entity(h.txn, "a") == 11
+        assert any_strategy.final_value(h.txn, "a") == 11
+
+    def test_shared_entity_read_only(self, any_strategy):
+        h = Harness(any_strategy)
+        h.lock("a", SHARED, global_value=5)
+        assert any_strategy.read_entity(h.txn, "a") == 5
+        with pytest.raises(LockError):
+            any_strategy.write_entity(h.txn, "a", 6)
+
+    def test_unlocked_entity_rejected(self, any_strategy):
+        h = Harness(any_strategy)
+        with pytest.raises(LockError):
+            any_strategy.read_entity(h.txn, "a")
+        with pytest.raises(LockError):
+            any_strategy.write_entity(h.txn, "a", 1)
+
+    def test_unlock_drops_copy(self, any_strategy):
+        h = Harness(any_strategy)
+        h.lock("a", EXCLUSIVE, global_value=10)
+        any_strategy.on_unlock(h.txn, "a")
+        with pytest.raises(LockError):
+            any_strategy.read_entity(h.txn, "a")
+
+    def test_total_rollback_restores_everything(self, any_strategy):
+        h = Harness(any_strategy, initial_locals={"x": 1})
+        h.lock("a", EXCLUSIVE, global_value=10)
+        any_strategy.write_entity(h.txn, "a", 99)
+        any_strategy.write_local(h.txn, "x", 99)
+        h.rollback(0)
+        assert any_strategy.read_local(h.txn, "x") == 1
+        with pytest.raises(LockError):
+            any_strategy.read_entity(h.txn, "a")
+
+    def test_finish_discards_state(self, any_strategy):
+        h = Harness(any_strategy, initial_locals={"x": 1})
+        any_strategy.on_finish(h.txn)
+        with pytest.raises(KeyError):
+            any_strategy.read_local(h.txn, "x")
+
+    def test_copies_count_nonnegative(self, any_strategy):
+        h = Harness(any_strategy, initial_locals={"x": 1})
+        h.lock("a", EXCLUSIVE, global_value=10)
+        assert any_strategy.copies_count(h.txn) >= 1
+
+
+class TestTotalRestart:
+    def test_choose_target_always_zero(self):
+        strategy = TotalRestartStrategy()
+        h = Harness(strategy)
+        h.lock("a")
+        h.lock("b")
+        assert strategy.choose_target(h.txn, 2) == 0
+        assert strategy.choose_target(h.txn, 0) == 0
+
+    def test_partial_rollback_rejected(self):
+        strategy = TotalRestartStrategy()
+        h = Harness(strategy)
+        h.lock("a")
+        h.lock("b")
+        with pytest.raises(RollbackError):
+            strategy.rollback(h.txn, 1)
+
+    def test_copies_linear(self):
+        strategy = TotalRestartStrategy()
+        h = Harness(strategy, initial_locals={"x": 0})
+        for i, name in enumerate("abcde"):
+            h.lock(name, EXCLUSIVE, global_value=i)
+            strategy.write_entity(h.txn, name, i + 100)
+            strategy.write_entity(h.txn, name, i + 200)
+        # One copy per entity + one per local, regardless of write count.
+        assert strategy.copies_count(h.txn) == 5 + 1
+
+
+class TestMcs:
+    def test_choose_target_is_identity(self):
+        strategy = MultiLockCopyStrategy()
+        h = Harness(strategy)
+        h.lock("a")
+        h.lock("b")
+        assert strategy.choose_target(h.txn, 2) == 2
+        assert strategy.choose_target(h.txn, 1) == 1
+
+    def test_partial_rollback_restores_exact_values(self):
+        strategy = MultiLockCopyStrategy()
+        h = Harness(strategy, initial_locals={"x": 0})
+        h.lock("a", EXCLUSIVE, global_value=10)     # ordinal 1
+        strategy.write_entity(h.txn, "a", 11)       # at lock index 1
+        strategy.write_local(h.txn, "x", 1)
+        h.lock("b", EXCLUSIVE, global_value=20)     # ordinal 2
+        strategy.write_entity(h.txn, "a", 12)       # at lock index 2
+        strategy.write_entity(h.txn, "b", 21)
+        strategy.write_local(h.txn, "x", 2)
+        h.lock("c", EXCLUSIVE, global_value=30)     # ordinal 3
+        strategy.write_entity(h.txn, "a", 13)
+
+        h.rollback(2)   # undo locks b..c and everything after lock state 2
+        assert strategy.read_entity(h.txn, "a") == 11
+        assert strategy.read_local(h.txn, "x") == 1
+        with pytest.raises(LockError):
+            strategy.read_entity(h.txn, "b")
+
+    def test_rollback_to_one_keeps_nothing_but_locals(self):
+        strategy = MultiLockCopyStrategy()
+        h = Harness(strategy, initial_locals={"x": 0})
+        strategy.write_local(h.txn, "x", 5)   # before any lock: index 0
+        h.lock("a", EXCLUSIVE, global_value=10)
+        strategy.write_local(h.txn, "x", 7)
+        h.rollback(1)
+        assert strategy.read_local(h.txn, "x") == 5
+
+    def test_theorem3_space_bound(self):
+        """Adversarial workload attains, never exceeds, n(n+1)/2 entity
+        copies: after each lock, write every held entity once."""
+        strategy = MultiLockCopyStrategy()
+        h = Harness(strategy)
+        n = 8
+        names = [f"e{i}" for i in range(n)]
+        for k, name in enumerate(names):
+            h.lock(name, EXCLUSIVE, global_value=0)
+            for held in names[: k + 1]:
+                strategy.write_entity(h.txn, held, k)
+        copies = strategy.entity_copies_count(h.txn)
+        assert copies == n * (n + 1) // 2
+
+    def test_theorem3_bound_never_exceeded_random(self):
+        import random
+
+        rng = random.Random(7)
+        strategy = MultiLockCopyStrategy()
+        h = Harness(strategy)
+        n = 6
+        names = [f"e{i}" for i in range(n)]
+        held = []
+        for name in names:
+            h.lock(name, EXCLUSIVE, global_value=0)
+            held.append(name)
+            for _ in range(rng.randint(0, 10)):
+                strategy.write_entity(h.txn, rng.choice(held), 1)
+            assert (
+                strategy.entity_copies_count(h.txn) <= n * (n + 1) // 2
+            )
+
+    def test_monitoring_off_stops_growth(self):
+        strategy = MultiLockCopyStrategy()
+        h = Harness(strategy)
+        h.lock("a", EXCLUSIVE, global_value=0)
+        strategy.write_entity(h.txn, "a", 1)
+        strategy.on_declare_last_lock(h.txn)
+        before = strategy.copies_count(h.txn)
+        for value in range(5):
+            strategy.write_entity(h.txn, "a", value)
+        assert strategy.copies_count(h.txn) == before
+        assert strategy.final_value(h.txn, "a") == 4
+
+    def test_rollback_after_declaration_rejected(self):
+        strategy = MultiLockCopyStrategy()
+        h = Harness(strategy)
+        h.lock("a")
+        strategy.on_declare_last_lock(h.txn)
+        with pytest.raises(RollbackError):
+            strategy.rollback(h.txn, 0)
+
+
+class TestSingleCopy:
+    def test_choose_target_clamps_to_well_defined(self):
+        strategy = SingleCopyStrategy()
+        h = Harness(strategy)
+        h.lock("a", EXCLUSIVE, global_value=10)   # ordinal 1
+        strategy.write_entity(h.txn, "a", 11)     # u(a) = 1
+        h.lock("b", EXCLUSIVE, global_value=20)   # ordinal 2
+        h.lock("c", EXCLUSIVE, global_value=30)   # ordinal 3
+        strategy.write_entity(h.txn, "a", 12)     # kills lock states 2, 3
+        h.lock("d", EXCLUSIVE, global_value=40)   # ordinal 4
+        assert strategy.choose_target(h.txn, 4) == 4
+        assert strategy.choose_target(h.txn, 3) == 1
+        assert strategy.choose_target(h.txn, 2) == 1
+        assert strategy.choose_target(h.txn, 1) == 1
+
+    def test_rollback_to_undefined_state_rejected(self):
+        strategy = SingleCopyStrategy()
+        h = Harness(strategy)
+        h.lock("a", EXCLUSIVE, global_value=10)
+        strategy.write_entity(h.txn, "a", 11)
+        h.lock("b", EXCLUSIVE, global_value=20)
+        h.lock("c", EXCLUSIVE, global_value=30)
+        strategy.write_entity(h.txn, "a", 12)
+        with pytest.raises(RollbackError):
+            strategy.rollback(h.txn, 2)
+
+    def test_rollback_to_well_defined_restores(self):
+        strategy = SingleCopyStrategy()
+        h = Harness(strategy, initial_locals={"x": 0})
+        h.lock("a", EXCLUSIVE, global_value=10)   # ordinal 1
+        strategy.write_entity(h.txn, "a", 11)
+        strategy.write_local(h.txn, "x", 1)
+        h.lock("b", EXCLUSIVE, global_value=20)   # ordinal 2
+        strategy.write_entity(h.txn, "b", 21)
+        # Lock state 2 is well-defined: a's only write precedes it and is
+        # its last write; b's writes happen after it.
+        assert strategy.choose_target(h.txn, 2) == 2
+        h.rollback(2)
+        assert strategy.read_entity(h.txn, "a") == 11   # last write kept
+        assert strategy.read_local(h.txn, "x") == 1
+        with pytest.raises(LockError):
+            strategy.read_entity(h.txn, "b")
+
+    def test_rollback_before_first_write_restores_base(self):
+        strategy = SingleCopyStrategy()
+        h = Harness(strategy)
+        h.lock("a", EXCLUSIVE, global_value=10)   # ordinal 1
+        h.lock("b", EXCLUSIVE, global_value=20)   # ordinal 2
+        strategy.write_entity(h.txn, "a", 99)     # first write at index 2
+        h.rollback(2)
+        assert strategy.read_entity(h.txn, "a") == 10
+
+    def test_copies_stay_linear(self):
+        strategy = SingleCopyStrategy()
+        h = Harness(strategy, initial_locals={"x": 0})
+        n = 8
+        for i in range(n):
+            h.lock(f"e{i}", EXCLUSIVE, global_value=0)
+            for held in range(i + 1):
+                strategy.write_entity(h.txn, f"e{held}", held)
+        # One copy per entity plus the local: linear, not quadratic.
+        assert strategy.copies_count(h.txn) == n + 1
+
+    def test_well_defined_states_view(self):
+        strategy = SingleCopyStrategy()
+        h = Harness(strategy)
+        h.lock("a", EXCLUSIVE, global_value=0)
+        assert strategy.well_defined_states(h.txn) == [0, 1]
+
+    def test_sdg_sync_assertion(self):
+        """on_lock_request must stay in lockstep with the lock records."""
+        strategy = SingleCopyStrategy()
+        h = Harness(strategy)
+        with pytest.raises(AssertionError):
+            strategy.on_lock_request(h.txn)   # no record created first
+
+    def test_rollback_after_declaration_rejected(self):
+        strategy = SingleCopyStrategy()
+        h = Harness(strategy)
+        h.lock("a")
+        strategy.on_declare_last_lock(h.txn)
+        with pytest.raises(RollbackError):
+            strategy.rollback(h.txn, 0)
+
+
+class TestFactory:
+    def test_known_names(self):
+        assert isinstance(make_strategy("total"), TotalRestartStrategy)
+        assert isinstance(make_strategy("mcs"), MultiLockCopyStrategy)
+        assert isinstance(make_strategy("single-copy"), SingleCopyStrategy)
+        assert isinstance(make_strategy("sdg"), SingleCopyStrategy)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            make_strategy("zz")

@@ -1,0 +1,112 @@
+"""Tests for the sweep/experiment harness."""
+
+import math
+
+import pytest
+
+from repro import Scheduler
+from repro.simulation import CellResult, Sweep, WorkloadConfig, tabulate
+from repro.simulation.engine import SimulationResult
+from repro.core.metrics import Metrics
+from repro.simulation.trace import Trace
+
+
+@pytest.fixture
+def sweep():
+    return Sweep(
+        base=WorkloadConfig(
+            n_transactions=6, n_entities=5, locks_per_txn=(2, 3),
+            write_ratio=0.9, skew="hotspot",
+        ),
+        seeds=range(2),
+    )
+
+
+class TestSweep:
+    def test_over_strategies_runs_all(self, sweep):
+        cells = sweep.over_strategies(["total", "mcs"])
+        assert [c.label for c in cells] == ["total", "mcs"]
+        for cell in cells:
+            assert len(cell.runs) == 2
+            assert cell.serializable
+            assert cell.livelocks == 0
+
+    def test_over_policies(self, sweep):
+        cells = sweep.over_policies(["youngest", "oldest"])
+        assert [c.label for c in cells] == ["youngest", "oldest"]
+        assert all(c.serializable for c in cells)
+
+    def test_over_concurrency_scales_entities(self, sweep):
+        cells = sweep.over_concurrency([2, 10])
+        assert [c.label for c in cells] == ["n=2", "n=10"]
+        assert all(c.serializable for c in cells)
+        # 10 transactions ran even though the base config has 5 entities.
+        assert cells[1].total("commits") == 20    # 10 txns x 2 seeds
+
+    def test_run_cell_custom_factory(self, sweep):
+        cell = sweep.run_cell(
+            "custom",
+            lambda db: Scheduler(db, strategy="undo-log"),
+        )
+        assert cell.label == "custom"
+        assert cell.serializable
+
+    def test_determinism(self, sweep):
+        a = sweep.over_strategies(["mcs"])[0]
+        b = sweep.over_strategies(["mcs"])[0]
+        assert a.total("states_lost") == b.total("states_lost")
+        assert a.total_steps() == b.total_steps()
+
+
+class TestCellAggregation:
+    def make_result(self, states_lost, livelock=False):
+        metrics = Metrics()
+        metrics.record_rollback("T1", "T1", 1, 1, states_lost)
+        return SimulationResult(
+            steps=10, committed=["T1"], metrics=metrics, trace=Trace(),
+            livelock_detected=livelock,
+        )
+
+    def test_total_and_mean(self):
+        cell = CellResult("x")
+        cell.add(self.make_result(4), ok=True)
+        cell.add(self.make_result(6), ok=True)
+        assert cell.total("states_lost") == 10
+        assert cell.mean("states_lost") == 5
+        assert cell.peak("states_lost") == 6
+
+    def test_livelocked_runs_excluded_from_aggregates(self):
+        cell = CellResult("x")
+        cell.add(self.make_result(4), ok=True)
+        cell.add(self.make_result(100, livelock=True), ok=True)
+        assert cell.total("states_lost") == 4
+        assert cell.livelocks == 1
+
+    def test_mean_of_nothing_is_nan(self):
+        cell = CellResult("x")
+        assert math.isnan(cell.mean("states_lost"))
+
+    def test_row_shape(self):
+        cell = CellResult("x")
+        cell.add(self.make_result(4), ok=True)
+        row = cell.row()
+        assert row["label"] == "x"
+        assert row["states_lost"] == 4
+        assert row["serializable"] is True
+
+
+class TestTabulate:
+    def test_renders_aligned_table(self):
+        cell = CellResult("abc")
+        cell.add(
+            SimulationResult(
+                steps=1, committed=[], metrics=Metrics(), trace=Trace()
+            ),
+            ok=True,
+        )
+        text = tabulate([cell])
+        assert "label" in text
+        assert "abc" in text
+
+    def test_empty(self):
+        assert tabulate([]) == "(no cells)"

@@ -1,0 +1,180 @@
+"""Unit tests for the synthetic workload generator."""
+
+import pytest
+
+from repro.core.operations import DeclareLastLock, Lock, Unlock, Write
+from repro.simulation.workload import (
+    WorkloadConfig,
+    entity_name,
+    expected_final_state,
+    generate_program,
+    generate_workload,
+    make_database,
+)
+
+import random
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        WorkloadConfig()
+
+    @pytest.mark.parametrize("field,value", [
+        ("n_transactions", 0),
+        ("n_entities", 0),
+        ("locks_per_txn", (0, 3)),
+        ("locks_per_txn", (5, 3)),
+        ("write_ratio", 1.5),
+        ("write_ratio", -0.1),
+        ("writes_per_entity", (0, 2)),
+        ("skew", "exotic"),
+    ])
+    def test_invalid_configs_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            WorkloadConfig(**{field: value})
+
+    def test_locks_exceeding_entities_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(n_entities=3, locks_per_txn=(1, 4))
+
+
+class TestGeneration:
+    def test_deterministic_by_seed(self):
+        cfg = WorkloadConfig(n_transactions=5, n_entities=8)
+        _db1, p1 = generate_workload(cfg, seed=3)
+        _db2, p2 = generate_workload(cfg, seed=3)
+        assert [
+            [op.describe() for op in a.operations] for a in p1
+        ] == [
+            [op.describe() for op in b.operations] for b in p2
+        ]
+
+    def test_different_seeds_differ(self):
+        cfg = WorkloadConfig(n_transactions=5, n_entities=8)
+        _d1, p1 = generate_workload(cfg, seed=1)
+        _d2, p2 = generate_workload(cfg, seed=2)
+        flat1 = [op.describe() for p in p1 for op in p.operations]
+        flat2 = [op.describe() for p in p2 for op in p.operations]
+        assert flat1 != flat2
+
+    def test_database_size(self):
+        cfg = WorkloadConfig(n_entities=7)
+        assert len(make_database(cfg)) == 7
+        assert entity_name(3) == "e003"
+
+    def test_lock_counts_in_range(self):
+        cfg = WorkloadConfig(n_transactions=20, n_entities=10,
+                             locks_per_txn=(2, 4))
+        _db, programs = generate_workload(cfg, seed=0)
+        for program in programs:
+            assert 2 <= len(program.lock_operations) <= 4
+
+    def test_write_ratio_zero_generates_shared_only(self):
+        cfg = WorkloadConfig(write_ratio=0.0)
+        _db, programs = generate_workload(cfg, seed=0)
+        for program in programs:
+            for _pos, op in program.lock_operations:
+                assert not op.mode.is_exclusive
+            assert not any(
+                isinstance(op, Write) for op in program.operations
+            )
+
+    def test_write_ratio_one_generates_exclusive_only(self):
+        cfg = WorkloadConfig(write_ratio=1.0)
+        _db, programs = generate_workload(cfg, seed=0)
+        for program in programs:
+            for _pos, op in program.lock_operations:
+                assert op.mode.is_exclusive
+
+    def test_three_phase_shape(self):
+        cfg = WorkloadConfig(three_phase=True)
+        _db, programs = generate_workload(cfg, seed=0)
+        for program in programs:
+            kinds = [type(op) for op in program.operations]
+            first_non_lock = next(
+                i for i, k in enumerate(kinds) if k is not Lock
+            )
+            assert kinds[first_non_lock] is DeclareLastLock
+            assert Lock not in kinds[first_non_lock:]
+
+    def test_explicit_unlocks(self):
+        cfg = WorkloadConfig(explicit_unlocks=True)
+        _db, programs = generate_workload(cfg, seed=0)
+        for program in programs:
+            unlocked = {
+                op.entity_name for op in program.operations
+                if isinstance(op, Unlock)
+            }
+            assert unlocked == program.entities_accessed
+
+    def test_clustered_vs_scattered_structure(self):
+        from repro.analysis import clustering_score
+
+        base = dict(n_transactions=12, n_entities=8, locks_per_txn=(3, 5),
+                    writes_per_entity=(2, 3))
+        _db, clustered = generate_workload(
+            WorkloadConfig(clustered_writes=True, **base), seed=4
+        )
+        _db, scattered = generate_workload(
+            WorkloadConfig(clustered_writes=False, **base), seed=4
+        )
+        mean = lambda ps: sum(clustering_score(p) for p in ps) / len(ps)
+        assert mean(clustered) == 1.0
+        assert mean(scattered) < 1.0
+
+    def test_zipf_skews_toward_low_indices(self):
+        cfg = WorkloadConfig(
+            n_transactions=200, n_entities=20, locks_per_txn=(1, 1),
+            skew="zipf", zipf_theta=1.2,
+        )
+        _db, programs = generate_workload(cfg, seed=0)
+        hits = [p.lock_operations[0][1].entity_name for p in programs]
+        low = sum(1 for h in hits if h in ("e000", "e001", "e002"))
+        assert low > len(hits) * 0.3
+
+    def test_hotspot_concentrates(self):
+        cfg = WorkloadConfig(
+            n_transactions=200, n_entities=20, locks_per_txn=(1, 1),
+            skew="hotspot", hotspot_fraction=0.1, hotspot_probability=0.9,
+        )
+        _db, programs = generate_workload(cfg, seed=0)
+        hits = [p.lock_operations[0][1].entity_name for p in programs]
+        hot = sum(1 for h in hits if h in ("e000", "e001"))
+        assert hot > len(hits) * 0.6
+
+    def test_programs_validate(self):
+        # Construction already validates; just exercise many configs.
+        for seed in range(5):
+            for clustered in (True, False):
+                for three_phase in (True, False):
+                    cfg = WorkloadConfig(
+                        clustered_writes=clustered,
+                        three_phase=three_phase,
+                        write_ratio=0.7,
+                    )
+                    generate_workload(cfg, seed=seed)
+
+    def test_generate_program_entities_distinct(self):
+        cfg = WorkloadConfig(n_entities=5, locks_per_txn=(5, 5))
+        rng = random.Random(0)
+        program = generate_program(cfg, "T1", rng)
+        locked = [op.entity_name for _i, op in program.lock_operations]
+        assert len(locked) == len(set(locked)) == 5
+
+
+class TestExpectedFinalState:
+    def test_counts_increments(self):
+        cfg = WorkloadConfig(n_transactions=6, n_entities=6,
+                             write_ratio=1.0)
+        db, programs = generate_workload(cfg, seed=9)
+        expected = expected_final_state(db, programs)
+        total_writes = sum(
+            1 for p in programs for op in p.operations
+            if isinstance(op, Write)
+        )
+        assert sum(expected.values()) == total_writes
+
+    def test_read_only_workload_expects_no_change(self):
+        cfg = WorkloadConfig(write_ratio=0.0)
+        db, programs = generate_workload(cfg, seed=9)
+        assert expected_final_state(db, programs) == db.snapshot()
