@@ -13,6 +13,8 @@ members before detection, makespan, and lost states, across sweep
 intervals vs the on-block baseline.
 """
 
+import random
+
 from conftest import report
 
 from repro import Scheduler
@@ -40,7 +42,7 @@ def run_mode(label, make_scheduler):
         expected = expected_final_state(db, programs)
         scheduler = make_scheduler(db)
         engine = SimulationEngine(
-            scheduler, RandomInterleaving(seed + 5), max_steps=400_000,
+            scheduler, RandomInterleaving(rng=random.Random(seed + 5)), max_steps=400_000,
         )
         for program in programs:
             engine.add(program)

@@ -15,6 +15,8 @@ Swept over concurrency levels to reproduce the "deadlocks become a more
 common occurrence" argument of §1.
 """
 
+import random
+
 from conftest import report
 
 from repro import Scheduler
@@ -42,7 +44,7 @@ def run_one(strategy, n_transactions, seed):
     expected = expected_final_state(db, programs)
     scheduler = Scheduler(db, strategy=strategy, policy="ordered-min-cost")
     engine = SimulationEngine(
-        scheduler, RandomInterleaving(seed=seed * 13 + 1),
+        scheduler, RandomInterleaving(rng=random.Random(seed * 13 + 1)),
         max_steps=1_000_000,
     )
     for program in programs:

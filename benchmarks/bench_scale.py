@@ -9,6 +9,7 @@ detection path is the only super-constant piece, and it only runs on
 blocks).
 """
 
+import random
 import time
 
 from conftest import report
@@ -35,7 +36,7 @@ def run_scale(n_transactions, n_entities, seed=0):
     expected = expected_final_state(db, programs)
     scheduler = Scheduler(db, strategy="mcs", policy="ordered-min-cost")
     engine = SimulationEngine(
-        scheduler, RandomInterleaving(seed + 1), max_steps=5_000_000,
+        scheduler, RandomInterleaving(rng=random.Random(seed + 1)), max_steps=5_000_000,
     )
     for program in programs:
         engine.add(program)

@@ -11,6 +11,10 @@ Commands
 ``figures``
     Reproduce the paper's Figures 1–5 and print the measured artefacts
     next to the paper's statements.
+``fuzz``
+    Drive the verification fuzzer: randomized workloads × interleavings
+    across every rollback strategy with the invariant oracles armed,
+    reproducible from one seed (see ``docs/VERIFICATION.md``).
 """
 
 from __future__ import annotations
@@ -154,6 +158,71 @@ def cmd_sweep(args) -> int:
     return 0 if all(c.serializable for c in cells) else 1
 
 
+def cmd_fuzz(args) -> int:
+    from .verification import (
+        COPY_STRATEGIES,
+        FuzzConfig,
+        describe_failure,
+        fuzz_campaign,
+        oracle_names,
+        save_case,
+    )
+
+    from .core.rollback import make_strategy
+    from .verification import make_oracles, resolve_policy
+
+    strategies = tuple(
+        s.strip() for s in args.strategies.split(",") if s.strip()
+    ) or COPY_STRATEGIES
+    try:
+        make_oracles(args.check)
+        for name in strategies:
+            make_strategy(name)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    ordered = {"auto": None, "yes": True, "no": False}[args.ordered]
+    config = FuzzConfig(
+        seed=args.seed,
+        steps=args.steps,
+        checks=args.check,
+        strategies=strategies,
+        policy=resolve_policy(args.policy),
+        ordered=ordered,
+        n_transactions=args.transactions,
+        n_entities=args.entities,
+        locks_per_txn=tuple(args.locks),
+        write_ratio=args.write_ratio,
+        shrink_failures=not args.no_shrink,
+        time_budget=args.time_budget,
+    )
+    report = fuzz_campaign(config)
+    print(f"{'seed':>16}: {config.seed}")
+    print(f"{'rounds':>16}: {report.rounds}")
+    print(f"{'strategies':>16}: {', '.join(strategies)}")
+    print(f"{'oracles':>16}: "
+          f"{args.check if args.check != 'all' else ', '.join(oracle_names())}")
+    print(f"{'engine steps':>16}: {report.total_steps}")
+    print(f"{'deadlocks':>16}: {report.deadlocks}")
+    print(f"{'rollbacks':>16}: {report.rollbacks}")
+    print(f"{'commits':>16}: {report.commits}")
+    print(f"{'elapsed':>16}: {report.elapsed:.2f}s")
+    print(f"{'fingerprint':>16}: {report.fingerprint}")
+    print(f"{'violations':>16}: {len(report.failures)}")
+    for index, failure in enumerate(report.failures):
+        print()
+        print(describe_failure(failure))
+        shrunk = failure.shrunk.case if failure.shrunk else failure.case
+        if args.emit and shrunk is not None:
+            path = save_case(
+                shrunk,
+                f"{args.emit}/case_{shrunk.oracle}_{config.seed}_"
+                f"{index}.json",
+            )
+            print(f"  regression case written to {path}")
+    return 0 if report.ok else 1
+
+
 def cmd_figures(_args) -> int:
     print("Figure 1 — exclusive-lock deadlock, cost-optimal victim")
     engine, result = drive_figure1(policy="min-cost")
@@ -233,6 +302,50 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig = sub.add_parser("figures",
                            help="reproduce the paper's figures")
     p_fig.set_defaults(fn=cmd_figures)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="fuzz schedules across strategies with invariant oracles",
+    )
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (whole campaign derives "
+                             "from it)")
+    p_fuzz.add_argument("--steps", type=int, default=2000,
+                        help="total engine-step budget for the campaign")
+    p_fuzz.add_argument("--check", default="all",
+                        help="'all' or comma-separated oracle names")
+    p_fuzz.add_argument("--strategies",
+                        default=",".join(
+                            ("mcs", "single-copy", "k-copy:2", "undo-log",
+                             "total")),
+                        help="comma-separated rollback strategies to "
+                             "differentially compare")
+    # Fault policies (deliberately broken, from repro.verification.faults)
+    # are accepted too, so a planted bug's detection can be reproduced
+    # from the command line.
+    p_fuzz.add_argument("--policy",
+                        choices=POLICIES + ("broken-ordered-min-cost",
+                                            "broken-first-cycle-only"),
+                        default="ordered-min-cost")
+    p_fuzz.add_argument("--ordered", choices=("auto", "yes", "no"),
+                        default="auto",
+                        help="arm the Theorem 2 oracles regardless of the "
+                             "policy name ('auto' infers from the name)")
+    p_fuzz.add_argument("--transactions", type=int, default=5)
+    p_fuzz.add_argument("--entities", type=int, default=5)
+    p_fuzz.add_argument("--locks", type=int, nargs=2, default=(2, 4),
+                        metavar=("MIN", "MAX"))
+    p_fuzz.add_argument("--write-ratio", type=float, default=0.75,
+                        help="write ratio for mixed (odd) rounds; even "
+                             "rounds are always exclusive-only")
+    p_fuzz.add_argument("--time-budget", type=float, default=None,
+                        help="wall-clock cap in seconds (CI smoke runs)")
+    p_fuzz.add_argument("--no-shrink", action="store_true",
+                        help="report failures without ddmin shrinking")
+    p_fuzz.add_argument("--emit", default=None, metavar="DIR",
+                        help="write shrunk failures as regression JSON "
+                             "files into DIR")
+    p_fuzz.set_defaults(fn=cmd_fuzz)
     return parser
 
 

@@ -14,13 +14,20 @@ the run is flagged (and optionally aborted) rather than spinning forever.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from ..core.metrics import Metrics
 from ..core.scheduler import Scheduler, StepOutcome
 from ..core.transaction import TransactionProgram, TxnStatus
 from ..errors import SimulationError
 from .interleaving import InterleavingPolicy, RoundRobin
-from .trace import Trace
+from .trace import Trace, TraceEvent
+
+#: Observer called after every recorded engine step: ``(engine, event)``.
+#: Exceptions raised by the observer abort the run and propagate to the
+#: caller — the verification oracles use this to fail fast at the exact
+#: step an invariant breaks.
+StepObserver = Callable[["SimulationEngine", TraceEvent], None]
 
 
 @dataclass
@@ -62,6 +69,9 @@ class SimulationEngine:
     stop_on_livelock:
         When True, a detected livelock ends the run with
         ``livelock_detected=True`` instead of raising.
+    on_step:
+        Optional :data:`StepObserver` invoked after every recorded step
+        (both :meth:`run` and :meth:`step_transaction`).
     """
 
     def __init__(
@@ -71,12 +81,14 @@ class SimulationEngine:
         max_steps: int = 1_000_000,
         livelock_window: int = 0,
         stop_on_livelock: bool = True,
+        on_step: StepObserver | None = None,
     ) -> None:
         self.scheduler = scheduler
         self.interleaving = interleaving or RoundRobin()
         self.max_steps = max_steps
         self.livelock_window = livelock_window
         self.stop_on_livelock = stop_on_livelock
+        self.on_step = on_step
         self.trace = Trace()
         self._pending_arrivals: list[tuple[int, TransactionProgram]] = []
 
@@ -143,10 +155,12 @@ class SimulationEngine:
             operation = txn.current_operation()
             result = self.scheduler.step(txn_id)
             steps += 1
-            self.trace.record(
+            event = self.trace.record(
                 steps, result,
                 operation=operation.describe() if operation else "commit",
             )
+            if self.on_step is not None:
+                self.on_step(self, event)
             if result.outcome is StepOutcome.COMMITTED:
                 last_commit_step = steps
                 rollbacks_at_last_commit = self.scheduler.metrics.rollbacks
@@ -181,10 +195,12 @@ class SimulationEngine:
         txn = self.scheduler.transaction(txn_id)
         operation = txn.current_operation()
         result = self.scheduler.step(txn_id)
-        self.trace.record(
+        event = self.trace.record(
             len(self.trace) + 1, result,
             operation=operation.describe() if operation else "commit",
         )
+        if self.on_step is not None:
+            self.on_step(self, event)
         return result
 
     def run_to_block(self, txn_id: str, max_steps: int = 10_000):

@@ -53,19 +53,36 @@ class RoundRobin(InterleavingPolicy):
 
 class RandomInterleaving(InterleavingPolicy):
     """Uniformly random choice with a fixed seed: different seeds explore
-    different schedules; the same seed reproduces a run exactly."""
+    different schedules; the same seed reproduces a run exactly.
+
+    The policy always draws from a private :class:`random.Random` — never
+    from the module-global generator — so concurrent runs cannot perturb
+    each other.  Pass ``rng`` to supply the generator instance directly
+    (the verification fuzzer threads one generator through a whole
+    campaign); with an explicit ``rng`` the caller owns its state and
+    :meth:`reset` is a no-op, whereas seed-constructed policies rewind to
+    the seed on every reset so each :meth:`SimulationEngine.run` replays
+    the same choices.
+    """
 
     name = "random"
 
-    def __init__(self, seed: int = 0) -> None:
-        self._seed = seed
-        self._rng = random.Random(seed)
+    def __init__(
+        self, seed: int = 0, rng: random.Random | None = None
+    ) -> None:
+        if rng is not None:
+            self._seed: int | None = None
+            self._rng = rng
+        else:
+            self._seed = seed
+            self._rng = random.Random(seed)
 
     def choose(self, runnable: Sequence[TxnId], step: int) -> TxnId:
         return self._rng.choice(sorted(runnable))
 
     def reset(self) -> None:
-        self._rng = random.Random(self._seed)
+        if self._seed is not None:
+            self._rng = random.Random(self._seed)
 
 
 class Scripted(InterleavingPolicy):

@@ -15,6 +15,7 @@ packages that pattern:
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Iterable, Sequence
 
@@ -118,7 +119,7 @@ class Sweep:
             scheduler = make_scheduler(db)
             engine = SimulationEngine(
                 scheduler,
-                RandomInterleaving(seed=seed * 101 + 7),
+                RandomInterleaving(rng=random.Random(seed * 101 + 7)),
                 max_steps=self.max_steps,
                 livelock_window=self.livelock_window,
             )

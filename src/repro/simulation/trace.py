@@ -8,6 +8,7 @@ and the chosen rollback actions.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -42,7 +43,7 @@ class Trace:
 
     def record(
         self, step: int, result: StepResult, operation: str = ""
-    ) -> None:
+    ) -> TraceEvent:
         event = TraceEvent(
             step=step,
             txn_id=result.txn_id,
@@ -53,6 +54,7 @@ class Trace:
             event.cycles = [list(c) for c in result.deadlock.cycles]
             event.actions = [str(a) for a in result.actions]
         self._events.append(event)
+        return event
 
     def __iter__(self) -> Iterator[TraceEvent]:
         return iter(self._events)
@@ -72,6 +74,24 @@ class Trace:
     def commits_in_order(self) -> list[str]:
         """Transaction ids in commit order."""
         return [e.txn_id for e in self.events(StepOutcome.COMMITTED)]
+
+    def schedule(self) -> list[str]:
+        """Transaction ids in step order — the interleaving that produced
+        this trace, replayable through
+        :class:`~repro.simulation.interleaving.Scripted`."""
+        return [e.txn_id for e in self._events]
+
+    def fingerprint(self) -> str:
+        """Content hash of the full event sequence.
+
+        Two runs are step-for-step identical iff their fingerprints match;
+        the verification fuzzer uses this to assert seed reproducibility.
+        """
+        digest = hashlib.sha256()
+        for event in self._events:
+            digest.update(str(event).encode())
+            digest.update(b"\n")
+        return digest.hexdigest()
 
     def render(self, limit: int | None = None) -> str:
         """Human-readable multi-line rendering (used by the examples)."""

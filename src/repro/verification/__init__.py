@@ -1,0 +1,90 @@
+"""Verification subsystem: fuzzing, invariant oracles, shrinking.
+
+The paper's central claims are structural invariants — Theorem 1's forest
+criterion, Theorem 2's livelock-free ordered preemption, and the promise
+that every rollback strategy preserves transaction semantics.  This
+package makes them machine-checked:
+
+* :mod:`~repro.verification.oracles` — per-step invariant oracles;
+* :mod:`~repro.verification.harness` — one instrumented engine run;
+* :mod:`~repro.verification.differential` — cross-strategy equivalence;
+* :mod:`~repro.verification.fuzzer` — the seeded schedule fuzzer;
+* :mod:`~repro.verification.shrinker` — ddmin over failing schedules;
+* :mod:`~repro.verification.regressions` — shrunk failures as files;
+* :mod:`~repro.verification.faults` — planted bugs proving the oracles
+  bite.
+
+See ``docs/VERIFICATION.md`` for the oracle ↔ theorem mapping and the
+failure-triage workflow, and ``repro fuzz --help`` for the CLI.
+"""
+
+from .cases import ReplayCase, make_case, replay, reproduces
+from .differential import (
+    COPY_STRATEGIES,
+    DifferentialReport,
+    differential_check,
+)
+from .faults import (
+    BrokenOrderPolicy,
+    FirstCycleOnlyPolicy,
+    resolve_policy,
+)
+from .fuzzer import (
+    FuzzConfig,
+    FuzzFailure,
+    FuzzReport,
+    describe_failure,
+    fuzz_campaign,
+    fuzz_policy,
+)
+from .harness import RunOutcome, run_with_oracles
+from .oracles import (
+    ORDERED_POLICIES,
+    Oracle,
+    OracleSuite,
+    OracleViolation,
+    make_oracles,
+    oracle_names,
+)
+from .regressions import (
+    check_case,
+    load_case,
+    render_pytest,
+    run_directory,
+    save_case,
+)
+from .shrinker import ShrinkResult, shrink
+
+__all__ = [
+    "BrokenOrderPolicy",
+    "COPY_STRATEGIES",
+    "DifferentialReport",
+    "FirstCycleOnlyPolicy",
+    "FuzzConfig",
+    "FuzzFailure",
+    "FuzzReport",
+    "ORDERED_POLICIES",
+    "Oracle",
+    "OracleSuite",
+    "OracleViolation",
+    "ReplayCase",
+    "RunOutcome",
+    "ShrinkResult",
+    "check_case",
+    "describe_failure",
+    "differential_check",
+    "fuzz_campaign",
+    "fuzz_policy",
+    "load_case",
+    "make_case",
+    "make_oracles",
+    "oracle_names",
+    "render_pytest",
+    "replay",
+    "reproduces",
+    "resolve_policy",
+    "run_directory",
+    "run_with_oracles",
+    "save_case",
+    "shrink",
+]

@@ -1,0 +1,124 @@
+"""Differential oracle: all rollback strategies agree on the outcome.
+
+The paper's §4 presents total restart, MCS, and the single-copy strategy
+as interchangeable *implementations* of the same abstract rollback — how
+copies are kept must never change what a transaction computes.  The
+differential oracle makes that executable: run the identical workload and
+interleaving seed under every strategy (partial and total rollback alike)
+and demand that each run commits every transaction and reaches the same
+serializable final database state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.victim import VictimPolicy
+from ..simulation.interleaving import RandomInterleaving
+from ..simulation.workload import WorkloadConfig
+from .harness import RunOutcome, run_with_oracles
+from .oracles import OracleViolation
+
+#: The four copy strategies plus the total-restart baseline — the full
+#: partial-vs-total spectrum the differential oracle compares.
+COPY_STRATEGIES = ("mcs", "single-copy", "k-copy:2", "undo-log", "total")
+
+
+@dataclass
+class DifferentialReport:
+    """Outcome of one workload across every compared strategy."""
+
+    outcomes: list[RunOutcome]
+    violation: OracleViolation | None
+
+    @property
+    def ok(self) -> bool:
+        return self.violation is None
+
+    @property
+    def steps(self) -> int:
+        return sum(outcome.steps for outcome in self.outcomes)
+
+    def failing_outcome(self) -> RunOutcome | None:
+        """The outcome carrying a per-run violation, if any."""
+        for outcome in self.outcomes:
+            if outcome.violation is not None:
+                return outcome
+        return None
+
+
+def differential_check(
+    config: WorkloadConfig,
+    workload_seed: int,
+    interleave_seed: int,
+    strategies: tuple[str, ...] = COPY_STRATEGIES,
+    policy: VictimPolicy | str = "ordered-min-cost",
+    checks: str | list[str] = "all",
+    ordered: bool | None = None,
+    max_steps: int = 200_000,
+) -> DifferentialReport:
+    """Run one workload under every strategy and compare the outcomes.
+
+    Each strategy gets a fresh interleaving generator built from the same
+    ``interleave_seed``; schedules still diverge once strategies block
+    and roll back differently, which is the point — equivalent final
+    states must emerge from genuinely different executions.  Per-run
+    oracle violations surface first; otherwise the cross-strategy
+    comparison (all committed, identical final states) is applied.
+    """
+    outcomes: list[RunOutcome] = []
+    for strategy in strategies:
+        outcome = run_with_oracles(
+            config,
+            workload_seed,
+            RandomInterleaving(seed=interleave_seed),
+            strategy=strategy,
+            policy=policy,
+            checks=checks,
+            ordered=ordered,
+            max_steps=max_steps,
+        )
+        outcomes.append(outcome)
+        if outcome.violation is not None:
+            return DifferentialReport(outcomes, outcome.violation)
+
+    violation: OracleViolation | None = None
+    reference = outcomes[0]
+    expected_commits = sorted(
+        p.txn_id
+        for p in _regenerate_programs(config, workload_seed)
+    )
+    for outcome in outcomes:
+        committed = sorted(outcome.result.committed)
+        if committed != expected_commits:
+            violation = OracleViolation(
+                "differential",
+                f"strategy {outcome.strategy!r} committed {committed} "
+                f"instead of all of {expected_commits}",
+            )
+            break
+        if outcome.result.final_state != reference.result.final_state:
+            diff = {
+                name: (
+                    reference.result.final_state.get(name),
+                    outcome.result.final_state.get(name),
+                )
+                for name in set(reference.result.final_state)
+                | set(outcome.result.final_state)
+                if reference.result.final_state.get(name)
+                != outcome.result.final_state.get(name)
+            }
+            violation = OracleViolation(
+                "differential",
+                f"final states diverge between {reference.strategy!r} and "
+                f"{outcome.strategy!r}: per-entity (ref, other) {diff}",
+            )
+            break
+    return DifferentialReport(outcomes, violation)
+
+
+def _regenerate_programs(config: WorkloadConfig, workload_seed: int):
+    from ..simulation.workload import generate_workload
+
+    _db, programs = generate_workload(config, seed=workload_seed)
+    return programs

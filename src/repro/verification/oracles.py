@@ -1,0 +1,374 @@
+"""Invariant oracles: machine-checked statements of the paper's theorems.
+
+Each oracle is a small stateful checker invoked after *every* engine step
+(via :data:`repro.simulation.engine.StepObserver`).  An oracle that
+observes a violated invariant raises :class:`OracleViolation` at the exact
+step the invariant broke, which the fuzzer then captures, replays, and
+shrinks.
+
+Oracles and their provenance:
+
+``graph-acyclic``
+    The system resolves every deadlock the moment it forms (§3), so the
+    waits-for graph must be acyclic after every completed step.
+``forest``
+    Theorem 1: with exclusive locks only, the deadlock-free concurrency
+    graph is a forest (in-degree ≤ 1 in the holder→waiter orientation,
+    acyclic).  Only meaningful for exclusive-only workloads.
+``cycles-through-requester``
+    §3.2: every cycle closed by a single wait response passes through the
+    requesting transaction, so every cycle a ``DEADLOCK`` event reports
+    must contain (and, as encoded, start at) the requester.
+``no-commit-loss``
+    Commit is irrevocable: a committed transaction stays committed, holds
+    no locks, and is never chosen as a rollback victim afterwards.
+``lock-table``
+    Lock-table consistency: granted lock records agree with the lock
+    manager, co-holders of an entity are mutually compatible, blocked
+    transactions have exactly one pending request and are queued on it.
+``preemption-order``
+    Theorem 2: under a time-invariant partial order, a transaction may
+    only be preempted by a conflict of an *earlier* entrant, so every
+    preemption arc runs old → young and no two transactions can preempt
+    each other forever.  Enabled only for order-respecting policies.
+``livelock-free``
+    Theorem 2's consequence: an order-respecting policy cannot livelock;
+    a run flagged as livelocked under such a policy is a bug.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+from ..core.scheduler import Scheduler, StepOutcome
+from ..core.transaction import TxnStatus
+from ..errors import SimulationError
+from ..simulation.trace import TraceEvent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simulation.engine import SimulationEngine
+
+
+class OracleViolation(SimulationError):
+    """An invariant oracle observed a broken invariant.
+
+    Attributes
+    ----------
+    oracle:
+        Name of the oracle that fired.
+    event:
+        The trace event after which the violation was observed (``None``
+        for post-run checks such as the differential oracle).
+    """
+
+    def __init__(
+        self, oracle: str, message: str, event: TraceEvent | None = None
+    ) -> None:
+        super().__init__(f"[{oracle}] {message}")
+        self.oracle = oracle
+        self.detail = message
+        self.event = event
+
+
+class Oracle(abc.ABC):
+    """One invariant, checked after every engine step.
+
+    Oracles may keep state between steps (e.g. the set of transactions
+    seen committed); :meth:`reset` clears it before a fresh run.
+    """
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def check(self, scheduler: Scheduler, event: TraceEvent) -> None:
+        """Raise :class:`OracleViolation` if the invariant is broken."""
+
+    def reset(self) -> None:
+        """Clear per-run state."""
+
+    def _fail(self, message: str, event: TraceEvent) -> None:
+        raise OracleViolation(self.name, message, event)
+
+
+class GraphAcyclicOracle(Oracle):
+    """After every completed step the waits-for graph is cycle-free."""
+
+    name = "graph-acyclic"
+
+    def check(self, scheduler: Scheduler, event: TraceEvent) -> None:
+        graph = scheduler.concurrency_graph()
+        cycle = graph.find_any_cycle()
+        if cycle is not None:
+            self._fail(
+                f"waits-for graph has unresolved cycle {cycle} after step "
+                f"{event.step} ({event.txn_id} {event.outcome})",
+                event,
+            )
+
+
+class ForestOracle(Oracle):
+    """Theorem 1: exclusive-only conflict graphs are forests."""
+
+    name = "forest"
+
+    def check(self, scheduler: Scheduler, event: TraceEvent) -> None:
+        graph = scheduler.concurrency_graph(include_queue_edges=False)
+        if not graph.is_forest():
+            self._fail(
+                f"exclusive-lock conflict graph is not a forest after step "
+                f"{event.step} (arcs: {sorted((a.holder, a.waiter, a.entity) for a in graph.arcs)})",
+                event,
+            )
+
+
+class CyclesThroughRequesterOracle(Oracle):
+    """§3.2: every reported deadlock cycle passes through the requester."""
+
+    name = "cycles-through-requester"
+
+    def check(self, scheduler: Scheduler, event: TraceEvent) -> None:
+        if event.outcome is not StepOutcome.DEADLOCK:
+            return
+        if not event.cycles:
+            self._fail(
+                f"DEADLOCK event at step {event.step} reports no cycles",
+                event,
+            )
+        for cycle in event.cycles:
+            if event.txn_id not in cycle:
+                self._fail(
+                    f"cycle {cycle} at step {event.step} does not pass "
+                    f"through requester {event.txn_id}",
+                    event,
+                )
+
+
+class NoCommitLossOracle(Oracle):
+    """Committed transactions keep their outcome: status stays COMMITTED,
+    no locks remain held, and no later rollback selects them as victim."""
+
+    name = "no-commit-loss"
+
+    def __init__(self) -> None:
+        self._committed: set[str] = set()
+        self._rollbacks_seen = 0
+
+    def reset(self) -> None:
+        self._committed.clear()
+        self._rollbacks_seen = 0
+
+    def check(self, scheduler: Scheduler, event: TraceEvent) -> None:
+        events = scheduler.metrics.rollback_events
+        for rb in events[self._rollbacks_seen:]:
+            if rb.victim in self._committed:
+                self._fail(
+                    f"committed transaction {rb.victim} rolled back at step "
+                    f"{event.step} (requester {rb.requester})",
+                    event,
+                )
+        self._rollbacks_seen = len(events)
+        for txn_id in self._committed:
+            txn = scheduler.transactions[txn_id]
+            if txn.status is not TxnStatus.COMMITTED:
+                self._fail(
+                    f"{txn_id} committed earlier but has status "
+                    f"{txn.status} at step {event.step}",
+                    event,
+                )
+            held = scheduler.lock_manager.locks_held(txn_id)
+            if held:
+                self._fail(
+                    f"committed transaction {txn_id} still holds locks "
+                    f"{sorted(held)} at step {event.step}",
+                    event,
+                )
+        if event.outcome is StepOutcome.COMMITTED:
+            self._committed.add(event.txn_id)
+
+
+class LockTableConsistencyOracle(Oracle):
+    """The lock manager and the transactions' lock records agree."""
+
+    name = "lock-table"
+
+    def check(self, scheduler: Scheduler, event: TraceEvent) -> None:
+        manager = scheduler.lock_manager
+        for txn_id, txn in scheduler.transactions.items():
+            held = manager.locks_held(txn_id)
+            if txn.done:
+                if held:
+                    self._fail(
+                        f"{txn_id} is done but holds {sorted(held)}", event
+                    )
+                continue
+            granted = {
+                r.entity: r.mode for r in txn.lock_records if r.granted
+            }
+            if granted != held:
+                self._fail(
+                    f"{txn_id}: granted records {sorted(granted)} disagree "
+                    f"with lock manager {sorted(held)}",
+                    event,
+                )
+            pending = txn.pending_request()
+            waiting_on = manager.waiting_on(txn_id)
+            if txn.status is TxnStatus.BLOCKED:
+                if pending is None:
+                    self._fail(
+                        f"{txn_id} is BLOCKED without a pending lock "
+                        f"record",
+                        event,
+                    )
+                if waiting_on != pending.entity:
+                    self._fail(
+                        f"{txn_id} is BLOCKED on record {pending.entity!r} "
+                        f"but queued on {waiting_on!r}",
+                        event,
+                    )
+            elif waiting_on is not None:
+                self._fail(
+                    f"{txn_id} has status {txn.status} but is queued on "
+                    f"{waiting_on!r}",
+                    event,
+                )
+        # Co-holders of any entity must be mutually compatible (at most
+        # one exclusive holder, never mixed with shared holders).
+        entities = {
+            entity
+            for txn_id in scheduler.transactions
+            for entity in manager.locks_held(txn_id)
+        }
+        for entity in entities:
+            holders = manager.table.holders(entity)
+            modes = list(holders.values())
+            for i, a in enumerate(modes):
+                for b in modes[i + 1:]:
+                    if not a.compatible_with(b):
+                        self._fail(
+                            f"incompatible co-holders of {entity!r}: "
+                            f"{holders}",
+                            event,
+                        )
+
+
+class PreemptionOrderOracle(Oracle):
+    """Theorem 2: preemption arcs run old → young under an ordered policy.
+
+    Every recorded rollback whose victim is not the requester itself must
+    preempt a *later* entrant (``entry_order(victim) >
+    entry_order(requester)``).  Because entry order is time-invariant this
+    also rules out mutual preemption pairs, which the oracle checks
+    directly as a second line of defence.
+    """
+
+    name = "preemption-order"
+
+    def __init__(self) -> None:
+        self._rollbacks_seen = 0
+
+    def reset(self) -> None:
+        self._rollbacks_seen = 0
+
+    def check(self, scheduler: Scheduler, event: TraceEvent) -> None:
+        events = scheduler.metrics.rollback_events
+        for rb in events[self._rollbacks_seen:]:
+            if rb.victim == rb.requester:
+                continue
+            victim_order = scheduler.transactions[rb.victim].entry_order
+            requester_order = scheduler.transactions[
+                rb.requester
+            ].entry_order
+            if victim_order <= requester_order:
+                self._fail(
+                    f"elder preempted at step {event.step}: {rb.requester} "
+                    f"(entry {requester_order}) rolled back {rb.victim} "
+                    f"(entry {victim_order}); Theorem 2 requires "
+                    f"victim entry order > requester entry order",
+                    event,
+                )
+        self._rollbacks_seen = len(events)
+        pairs = scheduler.metrics.mutual_preemption_pairs()
+        if pairs:
+            self._fail(
+                f"mutual preemption pairs {sorted(pairs)} under an "
+                f"ordered policy",
+                event,
+            )
+
+
+#: Policies whose victim choice respects a time-invariant partial order
+#: (the requester itself, or a strictly later entrant).  For these the
+#: ``preemption-order`` and ``livelock-free`` oracles apply.
+ORDERED_POLICIES = ("ordered-min-cost", "requester", "youngest")
+
+_ORACLE_TYPES: dict[str, type[Oracle]] = {
+    GraphAcyclicOracle.name: GraphAcyclicOracle,
+    ForestOracle.name: ForestOracle,
+    CyclesThroughRequesterOracle.name: CyclesThroughRequesterOracle,
+    NoCommitLossOracle.name: NoCommitLossOracle,
+    LockTableConsistencyOracle.name: LockTableConsistencyOracle,
+    PreemptionOrderOracle.name: PreemptionOrderOracle,
+}
+
+
+def oracle_names() -> list[str]:
+    """All step-oracle names, in registration order."""
+    return list(_ORACLE_TYPES)
+
+
+def make_oracles(
+    checks: str | list[str] = "all",
+    exclusive_only: bool = False,
+    ordered_policy: bool = True,
+) -> list[Oracle]:
+    """Build the oracle set for one run.
+
+    ``checks`` is ``"all"`` or a list/comma-string of oracle names.
+    ``exclusive_only`` enables the Theorem 1 forest oracle (it only holds
+    when every lock is exclusive); ``ordered_policy`` enables the
+    Theorem 2 preemption-order oracle.
+    """
+    if isinstance(checks, str):
+        requested = (
+            list(_ORACLE_TYPES)
+            if checks == "all"
+            else [c.strip() for c in checks.split(",") if c.strip()]
+        )
+    else:
+        requested = list(checks)
+    unknown = [name for name in requested if name not in _ORACLE_TYPES]
+    if unknown:
+        raise ValueError(
+            f"unknown oracle(s) {unknown}; choose from {oracle_names()}"
+        )
+    if not exclusive_only and ForestOracle.name in requested:
+        requested.remove(ForestOracle.name)
+    if not ordered_policy and PreemptionOrderOracle.name in requested:
+        requested.remove(PreemptionOrderOracle.name)
+    return [_ORACLE_TYPES[name]() for name in requested]
+
+
+class OracleSuite:
+    """A bundle of oracles usable as an engine step observer.
+
+    >>> suite = OracleSuite(make_oracles("all"))
+    >>> engine = SimulationEngine(scheduler, on_step=suite)  # doctest: +SKIP
+    """
+
+    def __init__(self, oracles: list[Oracle]) -> None:
+        self.oracles = oracles
+
+    def reset(self) -> None:
+        for oracle in self.oracles:
+            oracle.reset()
+
+    def __call__(
+        self, engine: "SimulationEngine", event: TraceEvent
+    ) -> None:
+        for oracle in self.oracles:
+            oracle.check(engine.scheduler, event)
+
+    @property
+    def names(self) -> list[str]:
+        return [oracle.name for oracle in self.oracles]

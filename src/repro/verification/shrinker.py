@@ -1,0 +1,123 @@
+"""Delta-debugging shrinker for failing fuzzer runs.
+
+A failing run is a :class:`~repro.verification.cases.ReplayCase` whose
+schedule (the exact interleaving, as a list of transaction ids) provokes
+an oracle violation on replay.  The shrinker minimises that schedule with
+Zeller's ddmin algorithm — repeatedly deleting chunks and keeping any
+deletion that still reproduces the *same* oracle — followed by a
+one-at-a-time sweep, yielding a 1-minimal interleaving: removing any
+single remaining event makes the failure disappear.
+
+The result is small enough to read as a scenario and can be written out
+as a regression case (:mod:`repro.verification.regressions`) that the
+test suite replays forever after.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cases import ReplayCase, reproduces
+from .oracles import OracleViolation
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrinking session."""
+
+    case: ReplayCase
+    violation: OracleViolation
+    original_length: int
+    replays: int
+
+    @property
+    def length(self) -> int:
+        return len(self.case.schedule)
+
+
+def shrink(case: ReplayCase, max_replays: int = 2_000) -> ShrinkResult:
+    """Minimise *case*'s schedule while it still reproduces its oracle.
+
+    ``max_replays`` bounds the total number of replay executions (each is
+    a full deterministic engine run over a candidate schedule); when the
+    budget runs out the best case found so far is returned.  Raises
+    ``ValueError`` if the original case does not reproduce at all.
+    """
+    violation = reproduces(case)
+    if violation is None:
+        raise ValueError(
+            f"case does not reproduce oracle {case.oracle!r}; nothing to "
+            f"shrink"
+        )
+    state = _ShrinkState(case, violation, budget=max_replays)
+    state.ddmin()
+    state.sweep()
+    return ShrinkResult(
+        case=state.best,
+        violation=state.violation,
+        original_length=len(case.schedule),
+        replays=state.replays,
+    )
+
+
+@dataclass
+class _ShrinkState:
+    best: ReplayCase
+    violation: OracleViolation
+    budget: int
+    replays: int = 0
+    _tested: set[tuple[str, ...]] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        self._tested.add(tuple(self.best.schedule))
+
+    def _try(self, schedule: list[str]) -> bool:
+        """Replay a candidate; adopt it as the new best if it still fails."""
+        key = tuple(schedule)
+        if key in self._tested or self.replays >= self.budget:
+            return False
+        self._tested.add(key)
+        self.replays += 1
+        violation = reproduces(self.best.with_schedule(schedule))
+        if violation is None:
+            return False
+        self.best = self.best.with_schedule(schedule)
+        self.violation = violation
+        return True
+
+    def ddmin(self) -> None:
+        """Classic ddmin over the schedule: try deleting chunks at
+        doubling granularity until no chunk can be removed."""
+        granularity = 2
+        while len(self.best.schedule) >= 2:
+            schedule = self.best.schedule
+            chunk = max(1, len(schedule) // granularity)
+            removed_any = False
+            start = 0
+            while start < len(self.best.schedule):
+                schedule = self.best.schedule
+                candidate = schedule[:start] + schedule[start + chunk:]
+                if candidate and self._try(candidate):
+                    removed_any = True
+                    # Same start now addresses fresh events; do not advance.
+                else:
+                    start += chunk
+                if self.replays >= self.budget:
+                    return
+            if not removed_any:
+                if granularity >= len(self.best.schedule):
+                    return
+                granularity = min(len(self.best.schedule), granularity * 2)
+
+    def sweep(self) -> None:
+        """Final 1-minimality pass: drop single events until none can go."""
+        changed = True
+        while changed and self.replays < self.budget:
+            changed = False
+            index = len(self.best.schedule) - 1
+            while index >= 0:
+                schedule = self.best.schedule
+                candidate = schedule[:index] + schedule[index + 1:]
+                if candidate and self._try(candidate):
+                    changed = True
+                index -= 1

@@ -1,0 +1,183 @@
+"""Property-based tests for :mod:`repro.graphs.algorithms`.
+
+Each algorithm is cross-checked against a small brute-force reference on
+random digraphs: cycle detection against transitive-closure
+self-reachability, ``descendants`` against the closure row,
+``is_forest`` against the in-degree + acyclicity definition of
+Theorem 1, and ``simple_cycles_through`` against exhaustive simple-path
+enumeration on small graphs.
+"""
+
+import itertools
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.graphs.algorithms import (  # noqa: E402
+    descendants,
+    find_cycle,
+    find_cycle_through,
+    has_cycle,
+    is_forest,
+    nodes_of,
+    simple_cycles_through,
+)
+
+# ---------------------------------------------------------------------------
+# Generators and brute-force references
+# ---------------------------------------------------------------------------
+
+
+def digraphs(max_nodes=12, max_edges=None):
+    """Random digraphs as adjacency dicts over integer nodes."""
+
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(min_value=0, max_value=max_nodes))
+        nodes = list(range(n))
+        cap = max_edges if max_edges is not None else n * (n - 1)
+        pairs = [(a, b) for a in nodes for b in nodes if a != b]
+        edges = draw(
+            st.lists(
+                st.sampled_from(pairs) if pairs else st.nothing(),
+                max_size=min(cap, len(pairs)),
+                unique=True,
+            )
+        )
+        graph = {node: set() for node in nodes}
+        for a, b in edges:
+            graph[a].add(b)
+        return graph
+
+    return build()
+
+
+def transitive_closure(graph):
+    """reach[a] = set of nodes reachable from a via >= 1 edge."""
+    nodes = sorted(nodes_of(graph))
+    reach = {a: set(graph.get(a, ())) for a in nodes}
+    changed = True
+    while changed:
+        changed = False
+        for a in nodes:
+            extra = set()
+            for b in reach[a]:
+                extra |= reach.get(b, set())
+            if not extra <= reach[a]:
+                reach[a] |= extra
+                changed = True
+    return reach
+
+
+def brute_force_has_cycle(graph):
+    reach = transitive_closure(graph)
+    return any(a in reach[a] for a in reach)
+
+
+def brute_force_is_forest(graph):
+    indegree = {}
+    for node in nodes_of(graph):
+        indegree.setdefault(node, 0)
+    for _node, targets in graph.items():
+        for succ in targets:
+            indegree[succ] = indegree.get(succ, 0) + 1
+    if any(d > 1 for d in indegree.values()):
+        return False
+    return not brute_force_has_cycle(graph)
+
+
+def brute_force_cycles_through(graph, start):
+    """All simple cycles through *start*, by exhaustive enumeration.
+
+    A cycle ``[start, n1, ..., nk]`` is any ordering of distinct
+    intermediate nodes that forms a closed edge walk back to *start*.
+    """
+    others = [n for n in nodes_of(graph) if n != start]
+    found = set()
+    for size in range(0, len(others) + 1):
+        for combo in itertools.permutations(others, size):
+            path = (start, *combo)
+            if all(
+                path[i + 1] in graph.get(path[i], set())
+                for i in range(len(path) - 1)
+            ) and start in graph.get(path[-1], set()):
+                found.add(path)
+    return found
+
+
+def is_valid_cycle(graph, cycle):
+    """The node list closes into a directed cycle with distinct nodes."""
+    if len(set(cycle)) != len(cycle):
+        return False
+    closed = list(cycle) + [cycle[0]]
+    return all(
+        closed[i + 1] in graph.get(closed[i], set())
+        for i in range(len(closed) - 1)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Properties
+# ---------------------------------------------------------------------------
+
+
+@given(digraphs())
+@settings(max_examples=150)
+def test_has_cycle_agrees_with_transitive_closure(graph):
+    assert has_cycle(graph) == brute_force_has_cycle(graph)
+
+
+@given(digraphs())
+@settings(max_examples=150)
+def test_find_cycle_returns_a_real_cycle_or_none(graph):
+    cycle = find_cycle(graph)
+    if cycle is None:
+        assert not brute_force_has_cycle(graph)
+    else:
+        assert is_valid_cycle(graph, cycle)
+
+
+@given(digraphs())
+@settings(max_examples=100)
+def test_descendants_match_closure_row(graph):
+    reach = transitive_closure(graph)
+    for node in nodes_of(graph):
+        assert descendants(graph, node) == reach[node]
+
+
+@given(digraphs())
+@settings(max_examples=150)
+def test_is_forest_matches_definition(graph):
+    assert is_forest(graph) == brute_force_is_forest(graph)
+
+
+@given(digraphs(max_nodes=7))
+@settings(max_examples=100)
+def test_find_cycle_through_soundness_and_completeness(graph):
+    for start in nodes_of(graph):
+        cycle = find_cycle_through(graph, start)
+        expected = brute_force_cycles_through(graph, start)
+        if cycle is None:
+            assert not expected
+        else:
+            assert cycle[0] == start
+            assert is_valid_cycle(graph, cycle)
+            assert tuple(cycle) in expected
+
+
+@given(digraphs(max_nodes=7))
+@settings(max_examples=100)
+def test_simple_cycles_through_enumeration_is_exact(graph):
+    for start in nodes_of(graph):
+        got = {tuple(c) for c in simple_cycles_through(graph, start)}
+        assert got == brute_force_cycles_through(graph, start)
+
+
+@given(digraphs())
+@settings(max_examples=100)
+def test_forest_implies_acyclic(graph):
+    if is_forest(graph):
+        assert not has_cycle(graph)

@@ -1,0 +1,37 @@
+"""Replay every checked-in regression case under ``tests/regressions/``.
+
+Each ``*.json`` file records a workload seed, a strategy/policy pair, an
+exact schedule, and an expectation — either ``clean`` (the replay must
+stay violation-free) or ``violation:<oracle>`` (the named oracle must
+keep firing, proving the planted fault is still detected).  New files
+dropped into the directory — e.g. emitted by ``repro fuzz --emit`` — are
+picked up automatically.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.verification import check_case, load_case
+from repro.verification.regressions import run_directory
+
+REGRESSION_DIR = Path(__file__).parent / "regressions"
+
+CASE_FILES = sorted(REGRESSION_DIR.glob("*.json"))
+
+
+def test_regression_directory_is_populated():
+    assert CASE_FILES, f"no regression cases found in {REGRESSION_DIR}"
+
+
+@pytest.mark.parametrize(
+    "path", CASE_FILES, ids=[p.stem for p in CASE_FILES]
+)
+def test_regression_case(path):
+    case, expect = load_case(path)
+    check_case(case, expect)
+
+
+def test_run_directory_covers_every_file():
+    checked = run_directory(REGRESSION_DIR)
+    assert [p for p, _ in checked] == CASE_FILES
