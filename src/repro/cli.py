@@ -15,6 +15,14 @@ Commands
     Drive the verification fuzzer: randomized workloads × interleavings
     across every rollback strategy with the invariant oracles armed,
     reproducible from one seed (see ``docs/VERIFICATION.md``).
+``chaos``
+    Deterministic fault injection: scheduler/site crashes with WAL
+    recovery, network faults, storage faults, stalls — either a seeded
+    campaign or a crash-at-every-step recovery-equivalence sweep
+    (see ``docs/RESILIENCE.md``).
+
+Both ``fuzz`` and ``chaos`` exit non-zero when any oracle fires, so CI
+can gate on them directly.
 """
 
 from __future__ import annotations
@@ -223,6 +231,94 @@ def cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_chaos(args) -> int:
+    import time
+
+    from .resilience import ChaosReport, chaos_run, crash_recovery_sweep
+    from .verification import resolve_policy
+
+    config = WorkloadConfig(
+        n_transactions=args.transactions,
+        n_entities=args.entities,
+        locks_per_txn=tuple(args.locks),
+        write_ratio=args.write_ratio,
+        skew=args.skew,
+    )
+    strategies = tuple(
+        s.strip() for s in args.strategies.split(",") if s.strip()
+    )
+    policy = resolve_policy(args.policy)
+    deadline = None
+    if args.time_budget is not None:
+        started = time.monotonic()
+        deadline = (
+            lambda: time.monotonic() - started >= args.time_budget
+        )
+    if args.crash_every_step:
+        report = crash_recovery_sweep(
+            config,
+            workload_seed=args.workload_seed
+            if args.workload_seed is not None else args.seed,
+            strategies=strategies,
+            policy=policy,
+            chaos_seed=args.seed,
+            checkpoint_every=args.checkpoint_every,
+            every=args.every,
+            sites=args.sites,
+            cross_site_mode=args.cross_site_mode,
+            deadline=deadline,
+        )
+    else:
+        outcomes, violations = [], []
+        for round_index in range(args.rounds):
+            if deadline is not None and deadline():
+                break
+            for strategy in strategies:
+                outcome = chaos_run(
+                    config,
+                    workload_seed=args.workload_seed
+                    if args.workload_seed is not None else args.seed,
+                    chaos_seed=args.seed + round_index,
+                    strategy=strategy,
+                    policy=policy,
+                    crashes=args.crashes,
+                    site_crashes=args.site_crashes,
+                    message_faults=args.message_faults,
+                    storage_faults=args.storage_faults,
+                    stalls=args.stalls,
+                    degrade=not args.no_degrade,
+                    checkpoint_every=args.checkpoint_every,
+                    sites=args.sites,
+                    cross_site_mode=args.cross_site_mode,
+                )
+                outcomes.append(outcome)
+                if outcome.violation is not None:
+                    violations.append(outcome.violation)
+        report = ChaosReport(outcomes=outcomes, violations=violations)
+
+    crashes = sum(outcome.crashes for outcome in report.outcomes)
+    recovered = sum(
+        outcome.crashes
+        for outcome in report.outcomes
+        if outcome.violation is None
+    )
+    print(f"{'seed':>16}: {args.seed}")
+    print(f"{'mode':>16}: "
+          f"{'crash-every-step' if args.crash_every_step else 'campaign'}")
+    print(f"{'strategies':>16}: {', '.join(strategies)}")
+    print(f"{'runs':>16}: {len(report.outcomes)}")
+    print(f"{'engine steps':>16}: {report.steps}")
+    print(f"{'crashes':>16}: {crashes}")
+    print(f"{'recovered':>16}: {recovered}")
+    print(f"{'fingerprint':>16}: {report.fingerprint()}")
+    print(f"{'violations':>16}: {len(report.violations)}")
+    for violation in report.violations[:args.max_report]:
+        print(f"  {violation}")
+    if len(report.violations) > args.max_report:
+        print(f"  ... and {len(report.violations) - args.max_report} more")
+    return 0 if report.ok else 1
+
+
 def cmd_figures(_args) -> int:
     print("Figure 1 — exclusive-lock deadlock, cost-optimal victim")
     engine, result = drive_figure1(policy="min-cost")
@@ -346,6 +442,68 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write shrunk failures as regression JSON "
                              "files into DIR")
     p_fuzz.set_defaults(fn=cmd_fuzz)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="deterministic fault injection with crash recovery "
+             "(see docs/RESILIENCE.md)",
+    )
+    p_chaos.add_argument("--seed", type=int, default=0,
+                         help="chaos seed: the entire fault schedule "
+                              "derives from it")
+    p_chaos.add_argument("--workload-seed", type=int, default=None,
+                         help="workload seed (defaults to --seed)")
+    p_chaos.add_argument("--transactions", type=int, default=5)
+    p_chaos.add_argument("--entities", type=int, default=6)
+    p_chaos.add_argument("--locks", type=int, nargs=2, default=(2, 4),
+                         metavar=("MIN", "MAX"))
+    p_chaos.add_argument("--write-ratio", type=float, default=1.0)
+    p_chaos.add_argument("--skew",
+                         choices=("uniform", "zipf", "hotspot"),
+                         default="uniform")
+    p_chaos.add_argument("--strategies",
+                         default=",".join(
+                             ("mcs", "single-copy", "k-copy:2",
+                              "undo-log", "total")),
+                         help="comma-separated rollback strategies")
+    p_chaos.add_argument("--policy",
+                         choices=POLICIES + ("broken-ordered-min-cost",
+                                             "broken-first-cycle-only"),
+                         default="ordered-min-cost")
+    p_chaos.add_argument("--crash-every-step", action="store_true",
+                         help="sweep: plant one crash at every recorded "
+                              "event index and check recovery "
+                              "equivalence")
+    p_chaos.add_argument("--every", type=int, default=1,
+                         help="sweep stride between crash points")
+    p_chaos.add_argument("--rounds", type=int, default=3,
+                         help="campaign rounds (non-sweep mode)")
+    p_chaos.add_argument("--crashes", type=int, default=1,
+                         help="scheduler crashes per campaign run")
+    p_chaos.add_argument("--site-crashes", type=int, default=0)
+    p_chaos.add_argument("--message-faults", type=int, default=0,
+                         help="network drops/duplicates/delays per run "
+                              "(needs --sites)")
+    p_chaos.add_argument("--storage-faults", type=int, default=0,
+                         help="copy-pop / undo-apply faults per run")
+    p_chaos.add_argument("--stalls", type=int, default=0,
+                         help="transaction stalls per run")
+    p_chaos.add_argument("--no-degrade", action="store_true",
+                         help="propagate storage faults instead of "
+                              "degrading to total restart")
+    p_chaos.add_argument("--sites", type=int, default=0,
+                         help="run distributed over this many sites "
+                              "(0 = centralised)")
+    p_chaos.add_argument("--cross-site-mode",
+                         choices=("wound-wait", "wait-die", "probe"),
+                         default="wound-wait")
+    p_chaos.add_argument("--checkpoint-every", type=int, default=10,
+                         help="recorded events between WAL checkpoints")
+    p_chaos.add_argument("--time-budget", type=float, default=None,
+                         help="wall-clock cap in seconds (CI smoke runs)")
+    p_chaos.add_argument("--max-report", type=int, default=5,
+                         help="violations to print in full")
+    p_chaos.set_defaults(fn=cmd_chaos)
     return parser
 
 

@@ -216,6 +216,7 @@ class KCopyStrategy(RollbackStrategy):
         raise AssertionError("lock state 0 must be restorable")
 
     def rollback(self, txn: Transaction, ordinal: int) -> None:
+        self._check_fault(txn, ordinal)
         state = self._state(txn)
         if not state.monitoring:
             raise RollbackError(

@@ -146,6 +146,7 @@ class MultiLockCopyStrategy(RollbackStrategy):
         return ideal_ordinal
 
     def rollback(self, txn: Transaction, ordinal: int) -> None:
+        self._check_fault(txn, ordinal)
         state = self._state(txn)
         if not state.monitoring:
             raise RollbackError(

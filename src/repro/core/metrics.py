@@ -36,6 +36,10 @@ class Metrics:
     overshoot_states: int = 0
     commits: int = 0
     copies_peak: int = 0
+    storage_faults: int = 0
+    degraded_restarts: int = 0
+    backoff_stalls: int = 0
+    restart_escalations: int = 0
     rollback_events: list[RollbackEvent] = field(default_factory=list)
     rollbacks_by_victim: Counter = field(default_factory=Counter)
     preemptions: Counter = field(default_factory=Counter)
@@ -123,4 +127,8 @@ class Metrics:
             "mean_states_lost": round(self.mean_states_lost, 3),
             "commits": self.commits,
             "copies_peak": self.copies_peak,
+            "storage_faults": self.storage_faults,
+            "degraded_restarts": self.degraded_restarts,
+            "backoff_stalls": self.backoff_stalls,
+            "restart_escalations": self.restart_escalations,
         }

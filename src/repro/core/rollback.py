@@ -41,6 +41,18 @@ class RollbackStrategy(abc.ABC):
     #: Short machine-readable name used by factories and benchmarks.
     name: str = "abstract"
 
+    #: Optional fault hook installed by the chaos engine
+    #: (:mod:`repro.resilience.faults`): called with
+    #: ``(strategy, txn, ordinal)`` at the top of every rollback and may
+    #: raise :class:`~repro.errors.StorageFault` to model damaged copy
+    #: storage.  ``None`` (the default) costs one attribute check.
+    fault_hook = None
+
+    def _check_fault(self, txn: Transaction, ordinal: int) -> None:
+        """Give an armed fault hook the chance to fail this rollback."""
+        if self.fault_hook is not None:
+            self.fault_hook(self, txn, ordinal)
+
     # -- lifecycle ---------------------------------------------------------
 
     @abc.abstractmethod

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from ..errors import (
     LockError,
     SimulationError,
+    StorageFault,
     UnknownTransactionError,
 )
 from ..locking.manager import LockManager
@@ -125,6 +126,14 @@ class Scheduler:
         self.transactions: dict[TxnId, Transaction] = {}
         self._check_consistency = check_consistency
         self._entry_counter = 0
+        #: Optional write-ahead log (:class:`repro.resilience.wal.WriteAheadLog`)
+        #: installed by a recovery manager; when present, lock grants, value
+        #: installations, commits, and rollbacks are logged before they apply.
+        self.wal = None
+        #: When True (default), a :class:`~repro.errors.StorageFault` raised
+        #: by the strategy during a rollback degrades the victim to a total
+        #: restart instead of propagating (graceful degradation).
+        self.degrade_on_fault = True
 
     # -- registration ------------------------------------------------------
 
@@ -277,6 +286,8 @@ class Scheduler:
             )
         record.granted = True
         self.metrics.locks_granted += 1
+        if self.wal is not None:
+            self.wal.log_grant(grant.txn, grant.entity, str(grant.mode))
         self.strategy.on_lock_granted(
             txn,
             grant.entity,
@@ -295,8 +306,9 @@ class Scheduler:
                 f"{txn.txn_id} holds no lock on {op.entity_name!r}"
             )
         if mode is LockMode.EXCLUSIVE:
-            self.database[op.entity_name] = self.strategy.final_value(
-                txn, op.entity_name
+            self._install(
+                txn.txn_id, op.entity_name,
+                self.strategy.final_value(txn, op.entity_name),
             )
         grants = self.lock_manager.unlock(txn.txn_id, op.entity_name)
         self.strategy.on_unlock(txn, op.entity_name)
@@ -310,15 +322,25 @@ class Scheduler:
         explicitly unlocked, release everything, check consistency."""
         for entity, mode in self.lock_manager.locks_held(txn.txn_id).items():
             if mode is LockMode.EXCLUSIVE:
-                self.database[entity] = self.strategy.final_value(txn, entity)
+                self._install(
+                    txn.txn_id, entity, self.strategy.final_value(txn, entity)
+                )
         grants = self.lock_manager.finish(txn.txn_id)
         self.strategy.on_finish(txn)
         txn.status = TxnStatus.COMMITTED
         self.metrics.commits += 1
+        if self.wal is not None:
+            self.wal.log_commit(txn.txn_id)
         for grant in grants:
             self._complete_grant(grant)
         if self._check_consistency and self._constraint_quiescent():
             self.database.check_consistency()
+
+    def _install(self, txn_id: TxnId, entity: str, value) -> None:
+        """Install a new global value, logging it ahead of the write."""
+        if self.wal is not None:
+            self.wal.log_install(txn_id, entity, value)
+        self.database[entity] = value
 
     def _constraint_quiescent(self) -> bool:
         """Whether consistency constraints are meaningful right now.
@@ -433,8 +455,23 @@ class Scheduler:
         grants += self.lock_manager.release_for_rollback(
             txn.txn_id, held_to_release
         )
-        self.strategy.rollback(txn, target_ordinal)
+        try:
+            self.strategy.rollback(txn, target_ordinal)
+        except StorageFault:
+            self.metrics.storage_faults += 1
+            if not self.degrade_on_fault:
+                raise
+            # Graceful degradation: the victim's partial-rollback state is
+            # damaged, but its initial state is always reconstructible from
+            # the program, so fall back to a total restart instead of
+            # aborting the run.  The global database was never touched by
+            # uninstalled local copies, so discarding them is safe.
+            grants += self._degrade_to_restart(txn)
+            target_ordinal = 0
+            states_lost = txn.state_index
         txn.apply_rollback(target_ordinal)
+        if self.wal is not None:
+            self.wal.log_rollback(txn_id, target_ordinal)
         self.metrics.record_rollback(
             victim=txn_id,
             requester=requester,
@@ -444,6 +481,23 @@ class Scheduler:
         )
         for grant in grants:
             self._complete_grant(grant)
+
+    def _degrade_to_restart(self, txn: Transaction) -> list[Grant]:
+        """Release everything *txn* still holds and rebuild its storage.
+
+        The damaged strategy state (half-popped stacks, a half-applied undo
+        log) cannot be trusted for any partial target, so it is discarded
+        wholesale and recreated as at transaction start; the caller then
+        rewinds the transaction to lock state 0.
+        """
+        self.metrics.degraded_restarts += 1
+        remaining = sorted(self.lock_manager.locks_held(txn.txn_id))
+        grants = self.lock_manager.release_for_rollback(
+            txn.txn_id, remaining
+        )
+        self.strategy.on_finish(txn)
+        self.strategy.begin(txn)
+        return grants
 
     @staticmethod
     def _ideal_target(txn: Transaction, deadlock: Deadlock) -> int:

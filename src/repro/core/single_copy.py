@@ -167,6 +167,7 @@ class SingleCopyStrategy(RollbackStrategy):
         )
 
     def rollback(self, txn: Transaction, ordinal: int) -> None:
+        self._check_fault(txn, ordinal)
         state = self._state(txn)
         if not state.monitoring:
             raise RollbackError(

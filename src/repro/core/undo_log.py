@@ -205,6 +205,7 @@ class UndoLogStrategy(RollbackStrategy):
         return ideal_ordinal
 
     def rollback(self, txn: Transaction, ordinal: int) -> None:
+        self._check_fault(txn, ordinal)
         state = self._state(txn)
         if not state.monitoring:
             raise RollbackError(

@@ -33,6 +33,8 @@ rollback notifications.
 
 from __future__ import annotations
 
+import random
+
 from ..core.detection import Deadlock
 from ..core.scheduler import Scheduler, StepOutcome, StepResult
 from ..core.transaction import Transaction, TransactionProgram, TxnStatus
@@ -66,6 +68,23 @@ class DistributedScheduler(Scheduler):
     wait_timeout:
         Engine steps a transaction may stay blocked before the timeout
         mechanism frees its contested locks.  Must be positive.
+    retry_budget:
+        How many times a transaction may be rolled back by the
+        distributed machinery (die, wound, timeout, local victim) before
+        the ladder escalates it to a *total* restart — the livelock
+        watchdog in the spirit of Theorem 2.  Escalation resets the
+        count.
+    backoff_base / backoff_cap:
+        Every retry stalls the victim for
+        ``min(cap, base * 2**(attempt-1)) + jitter`` clock steps before
+        it may be scheduled again (jitter in ``[0, base)``), replacing
+        the previous unbounded immediate retry.  A stalled transaction
+        yields only while a competitor can use the time; when nothing
+        else is runnable the backoff ends early (idling would help
+        nobody).
+    backoff_seed:
+        Seed of the private jitter generator — same seed, same jitter
+        sequence, fully reproducible runs.
     """
 
     def __init__(
@@ -77,6 +96,10 @@ class DistributedScheduler(Scheduler):
         cross_site_mode: str = WOUND_WAIT,
         wait_timeout: int = 200,
         check_consistency: bool = True,
+        retry_budget: int = 8,
+        backoff_base: int = 2,
+        backoff_cap: int = 64,
+        backoff_seed: int = 0,
     ) -> None:
         super().__init__(
             database,
@@ -91,11 +114,23 @@ class DistributedScheduler(Scheduler):
             )
         if wait_timeout < 1:
             raise ValueError("wait_timeout must be positive")
+        if retry_budget < 1:
+            raise ValueError("retry_budget must be positive")
+        if backoff_base < 1 or backoff_cap < backoff_base:
+            raise ValueError(
+                "backoff must satisfy 1 <= backoff_base <= backoff_cap"
+            )
         self.partition = partition
         self.cross_site_mode = cross_site_mode
         self.wait_timeout = wait_timeout
+        self.retry_budget = retry_budget
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
         self.message_log = MessageLog()
         self._blocked_since: dict[TxnId, int] = {}
+        self._retry_attempts: dict[TxnId, int] = {}
+        self._stalled_until: dict[TxnId, int] = {}
+        self._backoff_rng = random.Random(backoff_seed)
         self._clock = 0
 
     # -- registration with placement validation ------------------------------
@@ -106,6 +141,48 @@ class DistributedScheduler(Scheduler):
         self.partition.home_of(program.txn_id)
         return super().register(program)
 
+    # -- retry backoff ------------------------------------------------------
+
+    def runnable(self) -> list[TxnId]:
+        """READY transactions, minus those still serving a retry backoff.
+
+        A stalled transaction yields only while a competitor can use the
+        time; when nothing else is runnable its backoff ends early, so
+        every driver (engine or direct stepping) keeps making progress.
+        """
+        ready = super().runnable()
+        if not self._stalled_until:
+            return ready
+        active = [
+            txn_id
+            for txn_id in ready
+            if self._stalled_until.get(txn_id, 0) <= self._clock
+        ]
+        return active if active else ready
+
+    def _penalise_retry(self, txn_id: TxnId, target_ordinal: int) -> int:
+        """Account one distributed retry; return the (possibly escalated)
+        rollback target.
+
+        Each retry backs the victim off exponentially (with deterministic
+        jitter) before it may run again; once the retry budget is spent a
+        partial target escalates to a total restart and the count resets —
+        bounded work per transaction instead of unbounded preemption.
+        """
+        attempts = self._retry_attempts.get(txn_id, 0) + 1
+        self._retry_attempts[txn_id] = attempts
+        if attempts > self.retry_budget and target_ordinal > 0:
+            self.metrics.restart_escalations += 1
+            self._retry_attempts[txn_id] = 0
+            target_ordinal = 0
+        delay = min(
+            self.backoff_cap,
+            self.backoff_base * (2 ** min(attempts - 1, 30)),
+        ) + self._backoff_rng.randrange(self.backoff_base)
+        self._stalled_until[txn_id] = self._clock + delay
+        self.metrics.backoff_stalls += 1
+        return target_ordinal
+
     # -- engine hook: clock and timeouts -----------------------------------
 
     def on_engine_step(self, step: int) -> None:
@@ -115,6 +192,9 @@ class DistributedScheduler(Scheduler):
         everything is blocked).
         """
         self._clock += 1
+        for txn_id, until in list(self._stalled_until.items()):
+            if until <= self._clock:
+                del self._stalled_until[txn_id]
         for txn_id, since in list(self._blocked_since.items()):
             txn = self.transactions.get(txn_id)
             if txn is None or txn.status is not TxnStatus.BLOCKED:
@@ -339,7 +419,10 @@ class DistributedScheduler(Scheduler):
         ideal_ordinal: int | None = None,
     ) -> None:
         """Every distributed rollback ships release notifications to the
-        sites owning the released entities before the rollback applies."""
+        sites owning the released entities before the rollback applies,
+        and charges the victim's retry ladder (backoff, then escalation to
+        total restart once the budget is spent)."""
+        target_ordinal = self._penalise_retry(txn_id, target_ordinal)
         self._notify_rollback(self.transaction(txn_id), target_ordinal)
         super().force_rollback(
             txn_id, target_ordinal, requester, ideal_ordinal
@@ -389,3 +472,5 @@ class DistributedScheduler(Scheduler):
                     home, owner, MessageType.VALUE_SHIP, txn.txn_id, entity
                 )
         self._blocked_since.pop(txn.txn_id, None)
+        self._retry_attempts.pop(txn.txn_id, None)
+        self._stalled_until.pop(txn.txn_id, None)

@@ -42,6 +42,18 @@ class RollbackError(ReproError):
     """
 
 
+class StorageFault(RollbackError):
+    """A rollback strategy's storage failed mid-operation.
+
+    Raised (only) by injected faults — a multi-copy stack whose pop fails,
+    an undo log whose apply fails — to model damaged partial-rollback
+    state.  The scheduler responds by degrading the victim to a total
+    restart (its partial-rollback state is untrusted, its initial state is
+    always reconstructible) rather than aborting the run; see
+    ``docs/RESILIENCE.md``.
+    """
+
+
 class DeadlockUnresolvableError(ReproError):
     """No victim choice could break a detected deadlock.
 

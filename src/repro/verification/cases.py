@@ -36,6 +36,10 @@ class ReplayCase:
     oracle: str | None = None
     description: str = ""
     extra_steps: int = 8
+    #: Optional serialised :class:`~repro.resilience.faults.FaultPlan`;
+    #: replay re-arms the same injected faults (crash events are ignored —
+    #: scripted replays have no recovery loop).
+    fault_plan: dict | None = None
 
     def workload_config(self) -> WorkloadConfig:
         knobs = dict(self.workload)
@@ -62,6 +66,7 @@ def make_case(
     outcome: RunOutcome,
     checks: str | list[str] = "all",
     ordered: bool | None = None,
+    fault_plan: dict | None = None,
 ) -> ReplayCase:
     """Package a failing :class:`RunOutcome` as a replayable case."""
     violation = outcome.violation
@@ -75,6 +80,7 @@ def make_case(
         ordered=ordered,
         oracle=violation.oracle if violation else None,
         description=str(violation) if violation else "",
+        fault_plan=fault_plan,
     )
 
 
@@ -99,6 +105,7 @@ def replay(case: ReplayCase) -> RunOutcome:
         max_steps=len(case.schedule) + case.extra_steps,
         livelock_window=0,
         stop_when_scripted_exhausted=True,
+        fault_plan=case.fault_plan,
     )
 
 

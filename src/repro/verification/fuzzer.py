@@ -22,7 +22,7 @@ from ..core.victim import VictimPolicy
 from ..simulation.workload import WorkloadConfig
 from .cases import ReplayCase, make_case
 from .differential import COPY_STRATEGIES, differential_check
-from .oracles import OracleViolation
+from .oracles import POST_RUN_CHECKS, OracleViolation
 from .shrinker import ShrinkResult, shrink
 
 #: Workload-shape axes a campaign cycles through (deterministically, from
@@ -124,6 +124,24 @@ def round_workload(
     )
 
 
+def _split_checks(
+    checks: str | list[str],
+) -> tuple[str | list[str], list[str]]:
+    """Separate post-run checks (``recovery-equivalence``) from the step
+    oracle names.  ``"all"`` means all *step* oracles — post-run checks
+    cost a handful of extra full runs per round, so they are opt-in by
+    name."""
+    if isinstance(checks, str):
+        if checks == "all":
+            return "all", []
+        items = [c.strip() for c in checks.split(",") if c.strip()]
+    else:
+        items = list(checks)
+    post = [c for c in items if c in POST_RUN_CHECKS]
+    step = [c for c in items if c not in POST_RUN_CHECKS]
+    return step, post
+
+
 def fuzz_campaign(config: FuzzConfig) -> FuzzReport:
     """Run one campaign until the step budget (or time budget) is spent.
 
@@ -139,6 +157,7 @@ def fuzz_campaign(config: FuzzConfig) -> FuzzReport:
     report = FuzzReport(config=config)
     started = time.monotonic()
     ordered = config.ordered
+    step_checks, post_checks = _split_checks(config.checks)
     while report.total_steps < config.steps:
         if (
             config.time_budget is not None
@@ -156,7 +175,7 @@ def fuzz_campaign(config: FuzzConfig) -> FuzzReport:
             interleave_seed,
             strategies=config.strategies,
             policy=config.policy,
-            checks=config.checks,
+            checks=step_checks,
             ordered=ordered,
             max_steps=config.max_run_steps,
         )
@@ -168,6 +187,36 @@ def fuzz_campaign(config: FuzzConfig) -> FuzzReport:
                 report.deadlocks += outcome.result.metrics.deadlocks
                 report.rollbacks += outcome.result.metrics.rollbacks
                 report.commits += outcome.result.metrics.commits
+        if diff.violation is None and "recovery-equivalence" in post_checks:
+            # Sampled crash-recovery equivalence: one strategy per round
+            # (rotating), a few crash points per run.  Imported lazily —
+            # repro.resilience.chaos imports this package.
+            from ..resilience.chaos import recovery_equivalence_check
+
+            strategy = config.strategies[
+                (report.rounds - 1) % len(config.strategies)
+            ]
+            chaos_seed = rng.randrange(2**32)
+            violation = recovery_equivalence_check(
+                workload,
+                workload_seed,
+                chaos_seed,
+                strategy=strategy,
+                policy=config.policy,
+                max_steps=config.max_run_steps,
+            )
+            if violation is not None:
+                # Crash runs cannot be replayed by a scripted schedule
+                # (the recovery loop spans several engines), so the
+                # failure is recorded without a shrinkable case; the
+                # chaos CLI reproduces it from the seeds.
+                report.failures.append(
+                    FuzzFailure(
+                        violation=violation,
+                        round_index=report.rounds - 1,
+                    )
+                )
+                continue
         if diff.violation is None:
             continue
         failure = FuzzFailure(

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 from ..core.scheduler import Scheduler
 from ..core.victim import VictimPolicy
-from ..errors import SimulationError
+from ..errors import ReproError
 from ..simulation.engine import SimulationEngine, SimulationResult
 from ..simulation.interleaving import InterleavingPolicy, Scripted
 from ..simulation.workload import (
@@ -72,6 +72,7 @@ def run_with_oracles(
     max_steps: int = 200_000,
     livelock_window: int = 20_000,
     stop_when_scripted_exhausted: bool = False,
+    fault_plan: dict | None = None,
 ) -> RunOutcome:
     """Run one workload under oracle observation.
 
@@ -85,6 +86,13 @@ def run_with_oracles(
     interleaving ends the run once its schedule is consumed instead of
     falling through to round-robin — replays then execute exactly the
     recorded prefix.
+
+    ``fault_plan`` (a serialised
+    :class:`~repro.resilience.faults.FaultPlan`) arms a fault injector on
+    the run — the regression loader uses this to replay chaos-found
+    failures.  Crash events are stripped: this harness has no recovery
+    loop; crash-recovery equivalence is
+    :func:`repro.resilience.chaos.chaos_run`'s job.
     """
     db, programs = generate_workload(config, seed=workload_seed)
     expected = expected_final_state(db, programs)
@@ -115,6 +123,15 @@ def run_with_oracles(
         livelock_window=livelock_window,
         on_step=observe,
     )
+    if fault_plan is not None:
+        # Imported lazily: repro.resilience.chaos imports this module.
+        from ..resilience.faults import FaultInjector, FaultKind, FaultPlan
+
+        plan = FaultPlan.from_dict(dict(fault_plan))
+        plan.events = [
+            e for e in plan.events if e.kind is not FaultKind.CRASH
+        ]
+        FaultInjector(plan).attach(engine)
     for program in programs:
         engine.add(program)
 
@@ -126,10 +143,12 @@ def run_with_oracles(
         violation = exc
     except _StopRun:
         pass
-    except SimulationError as exc:
-        # The engine's own sanity machinery (undetected deadlock, lost
-        # wakeup, step-budget overrun) is itself an invariant failure
-        # from the fuzzer's point of view.
+    except ReproError as exc:
+        # Any library error escaping the run — the engine's own sanity
+        # machinery (undetected deadlock, lost wakeup, step-budget
+        # overrun) or a lower layer (e.g. an injected StorageFault with
+        # degradation disabled) — is an invariant failure from the
+        # fuzzer's point of view.
         violation = OracleViolation("engine", str(exc))
 
     if violation is None and result is not None:

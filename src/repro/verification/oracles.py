@@ -302,6 +302,13 @@ class PreemptionOrderOracle(Oracle):
 #: ``preemption-order`` and ``livelock-free`` oracles apply.
 ORDERED_POLICIES = ("ordered-min-cost", "requester", "youngest")
 
+#: Post-run checks the harnesses run *between* engine runs rather than at
+#: every step.  ``make_oracles`` accepts these names and silently skips
+#: them (no step oracle exists for them); callers that can honour them —
+#: the fuzzer's sampled crash-recovery check, ``repro chaos`` — look for
+#: them in the requested check list themselves.
+POST_RUN_CHECKS = ("recovery-equivalence",)
+
 _ORACLE_TYPES: dict[str, type[Oracle]] = {
     GraphAcyclicOracle.name: GraphAcyclicOracle,
     ForestOracle.name: ForestOracle,
@@ -337,10 +344,14 @@ def make_oracles(
         )
     else:
         requested = list(checks)
+    requested = [
+        name for name in requested if name not in POST_RUN_CHECKS
+    ]
     unknown = [name for name in requested if name not in _ORACLE_TYPES]
     if unknown:
         raise ValueError(
-            f"unknown oracle(s) {unknown}; choose from {oracle_names()}"
+            f"unknown oracle(s) {unknown}; choose from "
+            f"{oracle_names() + list(POST_RUN_CHECKS)}"
         )
     if not exclusive_only and ForestOracle.name in requested:
         requested.remove(ForestOracle.name)
