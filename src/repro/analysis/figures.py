@@ -18,7 +18,7 @@ well-defined — the same two trivial states, shifted by one.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..core import ops
 from ..core.operations import Operation

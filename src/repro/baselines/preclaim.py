@@ -21,7 +21,6 @@ from ..core.scheduler import Scheduler, StepOutcome, StepResult
 from ..core.transaction import Transaction, TransactionProgram, TxnStatus
 from ..errors import SimulationError
 from ..locking.modes import LockMode
-from ..locking.table import Grant
 from ..storage.database import Database
 
 TxnId = str

@@ -20,9 +20,15 @@ Commands
     recovery, network faults, storage faults, stalls — either a seeded
     campaign or a crash-at-every-step recovery-equivalence sweep
     (see ``docs/RESILIENCE.md``).
+``lint``
+    The repo's own static analysis: determinism / lock-discipline /
+    registration rules (RR001–RR004) plus ``--predict``, which builds a
+    lock-order graph from each recorded regression trace and reports
+    deadlocks reachable in *alternate* interleavings, cross-validated
+    by engine replay (see ``docs/STATIC_ANALYSIS.md``).
 
-Both ``fuzz`` and ``chaos`` exit non-zero when any oracle fires, so CI
-can gate on them directly.
+``fuzz``, ``chaos`` and ``lint`` exit non-zero when anything fires, so
+CI can gate on them directly.
 """
 
 from __future__ import annotations
@@ -41,7 +47,9 @@ from .analysis import (
     figure5_transaction,
     well_defined_states,
 )
+from .core.rollback import available_strategies
 from .core.scheduler import Scheduler
+from .core.victim import available_policies
 from .graphs.render import concurrency_to_ascii
 from .simulation import (
     RandomInterleaving,
@@ -51,10 +59,10 @@ from .simulation import (
     generate_workload,
 )
 
-STRATEGIES = ("total", "mcs", "single-copy", "undo-log", "k-copy:1",
-              "k-copy:2", "k-copy:inf")
-POLICIES = ("min-cost", "ordered-min-cost", "requester", "youngest",
-            "oldest")
+#: Derived from the registries, so a newly registered strategy or
+#: policy shows up in ``--help`` without touching this module (RR003).
+STRATEGIES = available_strategies()
+POLICIES = available_policies()
 
 
 def _add_workload_args(parser: argparse.ArgumentParser) -> None:
@@ -319,6 +327,93 @@ def cmd_chaos(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_lint(args) -> int:
+    import json
+    from pathlib import Path
+
+    from .staticcheck import (
+        all_rules,
+        default_checkers,
+        predict_corpus,
+        run_lint,
+    )
+
+    if args.list_rules:
+        for rule, title in all_rules():
+            print(f"{rule}  {title}")
+        return 0
+
+    select = None
+    if args.select:
+        select = [s.strip() for s in args.select.split(",") if s.strip()]
+    report = run_lint(
+        [Path(p) for p in args.paths], default_checkers(), select=select
+    )
+    exit_code = 0
+
+    if args.json:
+        print(json.dumps(
+            {
+                "files_checked": report.files_checked,
+                "findings": [f.to_dict() for f in report.findings],
+                "suppressed": [
+                    {**f.to_dict(), "justification": s.justification}
+                    for f, s in report.suppressed
+                ],
+            },
+            indent=2,
+            sort_keys=True,
+        ))
+    else:
+        for finding in report.parse_errors + report.findings:
+            print(finding.render())
+        if args.show_suppressed:
+            for finding, supp in report.suppressed:
+                why = supp.justification or "(no justification)"
+                print(f"{finding.render()}  [suppressed: {why}]")
+    bare = report.bare_suppressions()
+    for finding, _supp in bare:
+        print(
+            f"{finding.path}:{finding.line}: noqa[{finding.rule}] "
+            f"without a justification; say why the waiver is safe",
+            file=sys.stderr,
+        )
+    if not report.ok or bare:
+        exit_code = 1
+    if not args.json:
+        print(
+            f"checked {report.files_checked} files: "
+            f"{len(report.findings)} finding(s), "
+            f"{len(report.suppressed)} suppressed"
+        )
+
+    if args.predict:
+        print()
+        alternates = 0
+        for pred in predict_corpus(
+            args.corpus, max_cycle_length=args.max_cycle_length
+        ):
+            print(
+                f"{pred.case_path}: {pred.acquisitions} acquisitions, "
+                f"{pred.edges} lock-order edges, "
+                f"{pred.trace_deadlocks} deadlock(s) in the recorded "
+                f"trace, {len(pred.predicted)} predicted cycle(s)"
+            )
+            for deadlock in pred.predicted:
+                print(f"  {deadlock.describe()}")
+            alternates += len(pred.alternates)
+            if not pred.ok:
+                # A feasible cycle the engine could not realize means
+                # the feasibility check over-approximated — fail loudly.
+                exit_code = 1
+        print(
+            f"predict: {alternates} confirmed alternate-interleaving "
+            f"deadlock(s) across the corpus"
+        )
+
+    return exit_code
+
+
 def cmd_figures(_args) -> int:
     print("Figure 1 — exclusive-lock deadlock, cost-optimal victim")
     engine, result = drive_figure1(policy="min-cost")
@@ -357,6 +452,20 @@ def cmd_figures(_args) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from .staticcheck import all_rules
+    from .verification import COPY_STRATEGIES, oracle_names
+    from .verification.faults import FAULT_POLICIES
+
+    fault_policy_names = tuple(sorted(FAULT_POLICIES))
+    # The epilogs enumerate the registries at parser-build time, so
+    # ``--help`` always matches what make_strategy/make_policy accept.
+    registry_epilog = (
+        f"registered strategies: {', '.join(STRATEGIES)} | "
+        f"victim policies: {', '.join(POLICIES)} | "
+        f"fault policies: {', '.join(fault_policy_names)} | "
+        f"oracles: {', '.join(oracle_names())}"
+    )
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -402,6 +511,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz = sub.add_parser(
         "fuzz",
         help="fuzz schedules across strategies with invariant oracles",
+        epilog=registry_epilog,
     )
     p_fuzz.add_argument("--seed", type=int, default=0,
                         help="campaign seed (whole campaign derives "
@@ -411,17 +521,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument("--check", default="all",
                         help="'all' or comma-separated oracle names")
     p_fuzz.add_argument("--strategies",
-                        default=",".join(
-                            ("mcs", "single-copy", "k-copy:2", "undo-log",
-                             "total")),
+                        default=",".join(COPY_STRATEGIES),
                         help="comma-separated rollback strategies to "
                              "differentially compare")
     # Fault policies (deliberately broken, from repro.verification.faults)
     # are accepted too, so a planted bug's detection can be reproduced
     # from the command line.
     p_fuzz.add_argument("--policy",
-                        choices=POLICIES + ("broken-ordered-min-cost",
-                                            "broken-first-cycle-only"),
+                        choices=POLICIES + fault_policy_names,
                         default="ordered-min-cost")
     p_fuzz.add_argument("--ordered", choices=("auto", "yes", "no"),
                         default="auto",
@@ -447,6 +554,7 @@ def build_parser() -> argparse.ArgumentParser:
         "chaos",
         help="deterministic fault injection with crash recovery "
              "(see docs/RESILIENCE.md)",
+        epilog=registry_epilog,
     )
     p_chaos.add_argument("--seed", type=int, default=0,
                          help="chaos seed: the entire fault schedule "
@@ -462,13 +570,10 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=("uniform", "zipf", "hotspot"),
                          default="uniform")
     p_chaos.add_argument("--strategies",
-                         default=",".join(
-                             ("mcs", "single-copy", "k-copy:2",
-                              "undo-log", "total")),
+                         default=",".join(COPY_STRATEGIES),
                          help="comma-separated rollback strategies")
     p_chaos.add_argument("--policy",
-                         choices=POLICIES + ("broken-ordered-min-cost",
-                                             "broken-first-cycle-only"),
+                         choices=POLICIES + fault_policy_names,
                          default="ordered-min-cost")
     p_chaos.add_argument("--crash-every-step", action="store_true",
                          help="sweep: plant one crash at every recorded "
@@ -504,6 +609,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--max-report", type=int, default=5,
                          help="violations to print in full")
     p_chaos.set_defaults(fn=cmd_chaos)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the repo's static-analysis rules "
+             "(see docs/STATIC_ANALYSIS.md)",
+        epilog="rules: " + "; ".join(
+            f"{rule} {title}" for rule, title in all_rules()
+        ),
+    )
+    p_lint.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories to lint "
+                             "(default: src/repro)")
+    p_lint.add_argument("--select", default=None,
+                        help="comma-separated rule codes to run "
+                             "(default: all)")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    p_lint.add_argument("--json", action="store_true",
+                        help="machine-readable findings on stdout")
+    p_lint.add_argument("--show-suppressed", action="store_true",
+                        help="also print pragma-suppressed findings")
+    p_lint.add_argument("--predict", action="store_true",
+                        help="build lock-order graphs from the recorded "
+                             "regression traces and report deadlocks "
+                             "reachable in alternate interleavings")
+    p_lint.add_argument("--corpus", default="tests/regressions",
+                        help="regression-case directory for --predict")
+    p_lint.add_argument("--max-cycle-length", type=int, default=3,
+                        help="largest predicted cycle to search for")
+    p_lint.set_defaults(fn=cmd_lint)
     return parser
 
 

@@ -12,7 +12,11 @@ from .k_copy import KCopyStrategy, eager_allocator, threshold_allocator
 from .mcs import MultiLockCopyStrategy
 from .metrics import Metrics, RollbackEvent
 from .periodic import PeriodicDetectionScheduler
-from .rollback import RollbackStrategy, make_strategy
+from .rollback import (
+    RollbackStrategy,
+    available_strategies,
+    make_strategy,
+)
 from .savepoints import Savepoint, SavepointManager
 from .scheduler import Scheduler, StepOutcome, StepResult
 from .single_copy import SingleCopyStrategy
@@ -33,6 +37,7 @@ from .victim import (
     VictimContext,
     VictimPolicy,
     YoungestPolicy,
+    available_policies,
     make_policy,
 )
 
@@ -67,6 +72,8 @@ __all__ = [
     "VictimContext",
     "VictimPolicy",
     "YoungestPolicy",
+    "available_policies",
+    "available_strategies",
     "eager_allocator",
     "make_policy",
     "make_strategy",

@@ -190,18 +190,16 @@ class InteractiveProgram(TransactionProgram):
     # -- introspection ---------------------------------------------------------
 
     @property
-    def lock_operations(self):
+    def lock_operations(self) -> list[tuple[int, ops.Lock]]:
         """Materialised lock requests so far (grows as the script runs)."""
-        from .operations import Lock
-
         return [
             (i, op)
             for i, op in enumerate(self.operations)
-            if isinstance(op, Lock)
+            if isinstance(op, ops.Lock)
         ]
 
     @property
-    def entities_accessed(self):
+    def entities_accessed(self) -> set[str]:
         """Entities locked *so far* — unknowable upfront for a script."""
         return {op.entity_name for _i, op in self.lock_operations}
 

@@ -84,7 +84,7 @@ def invert_expression(
     return None
 
 
-def invert_write(op, for_local: bool = False) -> Inverse | None:
+def invert_write(op: object, for_local: bool = False) -> Inverse | None:
     """Inverse for a :class:`~repro.core.operations.Write` or
     :class:`~repro.core.operations.Assign` operation, or ``None``."""
     from .operations import Assign, Write

@@ -31,7 +31,7 @@ MCS, at MCS-like storage.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Iterator
 
 from ..errors import LockError, RollbackError
 from ..locking.modes import LockMode
@@ -191,7 +191,7 @@ class KCopyStrategy(RollbackStrategy):
 
     # -- rollback ----------------------------------------------------------
 
-    def _all_copies(self, state: _KCopyState):
+    def _all_copies(self, state: _KCopyState) -> Iterator[MultiCopy]:
         yield from state.entities.values()
         yield from state.locals.values()
 

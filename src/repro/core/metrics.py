@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Iterable
 
 
 @dataclass
@@ -82,7 +83,7 @@ class Metrics:
         self.blocks += 1
         self.blocks_by_entity[entity] += 1
 
-    def record_deadlock_arcs(self, entities) -> None:
+    def record_deadlock_arcs(self, entities: Iterable[str]) -> None:
         """Entities on the arcs of a detected deadlock's cycles."""
         for entity in entities:
             self.deadlock_entities[entity] += 1

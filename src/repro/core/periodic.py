@@ -18,10 +18,11 @@ baseline.
 from __future__ import annotations
 
 from ..core.detection import Deadlock
+from ..core.rollback import RollbackStrategy
 from ..core.scheduler import Scheduler, StepOutcome, StepResult
-from ..core.transaction import Transaction, TxnStatus
-from ..core.operations import Lock
+from ..core.victim import VictimPolicy
 from ..graphs.concurrency import ConcurrencyGraph
+from ..locking.table import Grant
 from ..storage.database import Database
 
 TxnId = str
@@ -33,8 +34,8 @@ class PeriodicDetectionScheduler(Scheduler):
     def __init__(
         self,
         database: Database,
-        strategy="mcs",
-        policy="ordered-min-cost",
+        strategy: RollbackStrategy | str = "mcs",
+        policy: VictimPolicy | str = "ordered-min-cost",
         interval: int = 50,
         check_consistency: bool = True,
     ) -> None:
@@ -109,7 +110,7 @@ class PeriodicDetectionScheduler(Scheduler):
 
     # -- bookkeeping --------------------------------------------------------
 
-    def _complete_grant(self, grant) -> None:
+    def _complete_grant(self, grant: Grant) -> None:
         super()._complete_grant(grant)
         self._blocked_at.pop(grant.txn, None)
 

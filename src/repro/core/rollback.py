@@ -141,6 +141,47 @@ class RollbackStrategy(abc.ABC):
         base values."""
 
 
+#: k-copy budgets the CLI advertises (any ``k-copy:N`` is accepted).
+_KCOPY_VARIANTS = ("k-copy:1", "k-copy:2", "k-copy:inf")
+
+
+def _strategy_registry() -> dict[str, type[RollbackStrategy]]:
+    """Name -> class for every registered rollback strategy.
+
+    Imported lazily because the concrete strategies subclass
+    :class:`RollbackStrategy` and therefore import this module.
+    """
+    from .k_copy import KCopyStrategy
+    from .mcs import MultiLockCopyStrategy
+    from .single_copy import SingleCopyStrategy
+    from .total import TotalRestartStrategy
+    from .undo_log import UndoLogStrategy
+
+    return {
+        "total": TotalRestartStrategy,
+        "mcs": MultiLockCopyStrategy,
+        "single-copy": SingleCopyStrategy,
+        "sdg": SingleCopyStrategy,
+        "undo-log": UndoLogStrategy,
+        "k-copy": KCopyStrategy,
+    }
+
+
+def available_strategies() -> tuple[str, ...]:
+    """Every CLI-selectable strategy name, derived from the registry.
+
+    The ``sdg`` alias is folded into ``single-copy`` and the
+    parameterised ``k-copy`` family is shown at its advertised budgets,
+    so the tuple is exactly what ``--strategy`` should offer.
+    """
+    names = [
+        name
+        for name in _strategy_registry()
+        if name not in ("sdg", "k-copy")
+    ]
+    return tuple(names) + _KCOPY_VARIANTS
+
+
 def make_strategy(name: str) -> RollbackStrategy:
     """Factory by name.
 
@@ -150,10 +191,6 @@ def make_strategy(name: str) -> RollbackStrategy:
     unbounded budget (``"k-copy"`` alone means a budget of 1).
     """
     from .k_copy import KCopyStrategy
-    from .mcs import MultiLockCopyStrategy
-    from .single_copy import SingleCopyStrategy
-    from .total import TotalRestartStrategy
-    from .undo_log import UndoLogStrategy
 
     if name == "k-copy" or name.startswith("k-copy:"):
         _base, _sep, suffix = name.partition(":")
@@ -168,11 +205,9 @@ def make_strategy(name: str) -> RollbackStrategy:
                 f"bad k-copy budget {suffix!r}; use an integer or 'inf'"
             ) from None
     strategies = {
-        "total": TotalRestartStrategy,
-        "mcs": MultiLockCopyStrategy,
-        "single-copy": SingleCopyStrategy,
-        "sdg": SingleCopyStrategy,
-        "undo-log": UndoLogStrategy,
+        key: cls
+        for key, cls in _strategy_registry().items()
+        if key != "k-copy"
     }
     if name not in strategies:
         raise ValueError(

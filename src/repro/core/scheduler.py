@@ -15,6 +15,11 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # avoids the resilience/graphs <-> core import cycles
+    from ..graphs.concurrency import ConcurrencyGraph
+    from ..resilience.wal import WriteAheadLog
 
 from ..errors import (
     LockError,
@@ -76,13 +81,13 @@ class _StrategyContext(EvalContext):
         self._scheduler = scheduler
         self._txn = txn
 
-    def local(self, name: str):
+    def local(self, name: str) -> Any:
         return self._scheduler.strategy.read_local(self._txn, name)
 
-    def entity(self, name: str):
+    def entity(self, name: str) -> Any:
         return self._scheduler.strategy.read_entity(self._txn, name)
 
-    def __getitem__(self, name: str):
+    def __getitem__(self, name: str) -> Any:
         """Sugar: ``ctx["x"]`` reads local variable ``x``."""
         return self.local(name)
 
@@ -129,7 +134,7 @@ class Scheduler:
         #: Optional write-ahead log (:class:`repro.resilience.wal.WriteAheadLog`)
         #: installed by a recovery manager; when present, lock grants, value
         #: installations, commits, and rollbacks are logged before they apply.
-        self.wal = None
+        self.wal: WriteAheadLog | None = None
         #: When True (default), a :class:`~repro.errors.StorageFault` raised
         #: by the strategy during a rollback degrades the victim to a total
         #: restart instead of propagating (graceful degradation).
@@ -336,7 +341,7 @@ class Scheduler:
         if self._check_consistency and self._constraint_quiescent():
             self.database.check_consistency()
 
-    def _install(self, txn_id: TxnId, entity: str, value) -> None:
+    def _install(self, txn_id: TxnId, entity: str, value: Any) -> None:
         """Install a new global value, logging it ahead of the write."""
         if self.wal is not None:
             self.wal.log_install(txn_id, entity, value)
@@ -518,7 +523,9 @@ class Scheduler:
             if not txn.done
         )
 
-    def concurrency_graph(self, include_queue_edges: bool = True):
+    def concurrency_graph(
+        self, include_queue_edges: bool = True
+    ) -> "ConcurrencyGraph":
         """Snapshot of the current waits-for graph.
 
         Pass ``include_queue_edges=False`` for the paper's pure conflict

@@ -134,7 +134,7 @@ class TransactionProgram:
             return None
         return self.operations[pc]
 
-    def on_op_completed(self, pc: int, result) -> None:
+    def on_op_completed(self, pc: int, result: object) -> None:
         """Called by the scheduler after the operation at *pc* completed.
 
         *result* is the value produced (a read's value; ``None`` for

@@ -24,16 +24,18 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, TypeVar
 
 from ..errors import LockError, RollbackError
 from ..locking.modes import LockMode
 from .inverse import invert_expression
-from .operations import Assign, Read, Write
+from .operations import Assign, Operation, Read, Write
 from .rollback import RollbackStrategy
 from .transaction import Transaction
 
 Value = Any
+
+_OpT = TypeVar("_OpT", bound=Operation)
 
 
 class _Kind(enum.Enum):
@@ -123,7 +125,11 @@ class UndoLogStrategy(RollbackStrategy):
             return state.shared_values[entity]
         raise LockError(f"{txn.txn_id} holds no copy of {entity!r}")
 
-    def _current_expression(self, txn: Transaction, expect):
+    def _current_expression(
+        self,
+        txn: Transaction,
+        expect: type[_OpT] | tuple[type[_OpT], ...],
+    ) -> _OpT | None:
         """The expression of the operation being executed, if it matches.
 
         The scheduler calls the strategy while the program counter still

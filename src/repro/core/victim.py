@@ -250,17 +250,26 @@ class OldestPolicy(_EntryOrderPolicy):
         super().__init__(prefer_latest=False)
 
 
+#: Registry of selectable policies, in documentation order.
+_POLICY_REGISTRY: dict[str, Callable[[], VictimPolicy]] = {
+    "min-cost": MinCostPolicy,
+    "ordered-min-cost": OrderedMinCostPolicy,
+    "requester": RequesterPolicy,
+    "youngest": YoungestPolicy,
+    "oldest": OldestPolicy,
+}
+
+
+def available_policies() -> tuple[str, ...]:
+    """Every CLI-selectable victim-policy name, in registry order."""
+    return tuple(_POLICY_REGISTRY)
+
+
 def make_policy(name: str) -> VictimPolicy:
     """Factory for victim policies by :attr:`VictimPolicy.name`."""
-    policies: dict[str, Callable[[], VictimPolicy]] = {
-        "min-cost": MinCostPolicy,
-        "ordered-min-cost": OrderedMinCostPolicy,
-        "requester": RequesterPolicy,
-        "youngest": YoungestPolicy,
-        "oldest": OldestPolicy,
-    }
-    if name not in policies:
+    if name not in _POLICY_REGISTRY:
         raise ValueError(
-            f"unknown victim policy {name!r}; choose from {sorted(policies)}"
+            f"unknown victim policy {name!r}; choose from "
+            f"{sorted(_POLICY_REGISTRY)}"
         )
-    return policies[name]()
+    return _POLICY_REGISTRY[name]()

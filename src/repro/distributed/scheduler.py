@@ -39,7 +39,6 @@ from ..core.detection import Deadlock
 from ..core.scheduler import Scheduler, StepOutcome, StepResult
 from ..core.transaction import Transaction, TransactionProgram, TxnStatus
 from ..core.operations import Lock
-from ..errors import SimulationError
 from ..graphs.concurrency import ConcurrencyGraph
 from ..locking.modes import LockMode
 from ..storage.database import Database

@@ -34,8 +34,7 @@ Lock-index conventions used throughout the library
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable
+from dataclasses import dataclass
 
 from . import algorithms
 

@@ -20,7 +20,7 @@ Access skew
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..core import ops
 from ..core.operations import Operation

@@ -1,0 +1,59 @@
+"""Static analysis for the reproduction's own guarantees.
+
+The paper's theorems are only as good as the code discipline they rest
+on: Theorem 1's forest structure assumes every lock acquisition goes
+through the two-phase :class:`~repro.locking.manager.LockManager`, and
+Theorem 2's livelock-freedom — together with the verification and chaos
+subsystems — assumes runs are bit-for-bit reproducible from a seed.
+Neither assumption used to be checked; this package checks both.
+
+Two pillars:
+
+* :mod:`~repro.staticcheck.framework` plus
+  :mod:`~repro.staticcheck.checkers` — a small AST lint framework with
+  project-specific rules (RR001 nondeterminism hazards, RR002 lock-API
+  discipline, RR003 registration completeness, RR004 seeded-Random
+  plumbing), exposed as ``repro lint``;
+* :mod:`~repro.staticcheck.predict` — trace-based deadlock prediction:
+  a lock-order graph built from one recorded execution, cycles that are
+  feasible in *alternate* interleavings, each cross-validated by
+  replaying a synthesized witness schedule through the real engine
+  (``repro lint --predict``).
+
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue and rationale.
+"""
+
+from .checkers import all_rules, default_checkers
+from .framework import (
+    Checker,
+    Finding,
+    LintReport,
+    Module,
+    load_module,
+    run_lint,
+)
+from .predict import (
+    LockEdge,
+    LockOrderGraph,
+    PredictedDeadlock,
+    PredictionReport,
+    predict_case,
+    predict_corpus,
+)
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "LintReport",
+    "LockEdge",
+    "LockOrderGraph",
+    "Module",
+    "PredictedDeadlock",
+    "PredictionReport",
+    "all_rules",
+    "default_checkers",
+    "load_module",
+    "predict_case",
+    "predict_corpus",
+    "run_lint",
+]

@@ -10,7 +10,7 @@ constraint means the 2PL/rollback machinery broke serializability).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Iterator, Mapping
+from typing import Callable, Iterable, Iterator, Mapping
 
 from ..errors import ConsistencyViolation, UnknownEntityError
 from .entity import Entity, Value

@@ -103,8 +103,10 @@ def differential_check(
                     reference.result.final_state.get(name),
                     outcome.result.final_state.get(name),
                 )
-                for name in set(reference.result.final_state)
-                | set(outcome.result.final_state)
+                for name in sorted(
+                    set(reference.result.final_state)
+                    | set(outcome.result.final_state)
+                )
                 if reference.result.final_state.get(name)
                 != outcome.result.final_state.get(name)
             }

@@ -1,0 +1,11 @@
+"""Fixture: no findings under any rule (parsed, never imported)."""
+
+import random
+
+
+def seeded_rng(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+def stable_order(names: set[str]) -> list[str]:
+    return sorted(names)

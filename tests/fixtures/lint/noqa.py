@@ -1,0 +1,15 @@
+"""Fixture: pragma suppression (parsed, never imported)."""
+
+import time
+
+
+def budget_start() -> float:
+    return time.time()  # repro: noqa[RR001] coarse budget only, never replayed
+
+
+def bare_waiver() -> float:
+    return time.time()  # repro: noqa[RR001]
+
+
+def wrong_rule() -> float:
+    return time.time()  # repro: noqa[RR002] does not cover RR001

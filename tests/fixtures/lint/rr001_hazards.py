@@ -1,0 +1,43 @@
+"""Fixture: every RR001 nondeterminism hazard, one per stanza.
+
+Never imported by the test suite — parsed by the linter only.
+"""
+
+import os
+import random
+import time
+from datetime import datetime
+from random import choice  # hazard: binds the global generator
+
+
+def roll() -> float:
+    return random.random()  # hazard: module-global generator
+
+
+def stamp() -> float:
+    return time.time()  # hazard: wall clock
+
+
+def today() -> object:
+    return datetime.now()  # hazard: wall clock
+
+
+def shell_config() -> str | None:
+    if "REPRO_MODE" in os.environ:  # hazard: ambient environment
+        return os.getenv("REPRO_MODE")  # hazard: ambient environment
+    return None
+
+
+def order_by_address(items: list[object]) -> list[object]:
+    return sorted(items, key=id)  # hazard: allocation-address ordering
+
+
+def iterate_hash_order(names: set[str]) -> list[str]:
+    out = []
+    for name in names | {"extra"}:  # hazard: set iteration order
+        out.append(name)
+    return list({n for n in out})  # hazard: list() over a set
+
+
+def pick(options: list[str]) -> str:
+    return choice(options)

@@ -1,0 +1,29 @@
+"""Fixture: RR003 registration-completeness violation (parsed only).
+
+Self-contained mini-project: a strategy kind with a registry in the
+same file, one registered subclass, and one the author forgot.
+"""
+
+import abc
+
+
+class RollbackStrategy(abc.ABC):
+    @abc.abstractmethod
+    def rollback(self) -> None: ...
+
+
+class RegisteredStrategy(RollbackStrategy):
+    def rollback(self) -> None: ...
+
+
+class ForgottenStrategy(RollbackStrategy):  # violation: not in registry
+    def rollback(self) -> None: ...
+
+
+class _PrivateHelperStrategy(RollbackStrategy):  # private: exempt
+    def rollback(self) -> None: ...
+
+
+def make_strategy(name: str) -> RollbackStrategy:
+    strategies = {"registered": RegisteredStrategy}
+    return strategies[name]()

@@ -1,0 +1,25 @@
+"""Fixture: RR004 seeded-Random violations (parsed, never imported)."""
+
+import random
+
+AMBIENT = 1234
+
+
+def unseeded() -> random.Random:
+    return random.Random()  # violation: OS entropy
+
+
+def ambient_seed() -> random.Random:
+    return random.Random(AMBIENT * 3 + 1)  # violation: caller never passed it
+
+
+def pinned() -> random.Random:
+    return random.Random(42)  # ok: literal constant
+
+
+def plumbed(seed: int) -> random.Random:
+    return random.Random(seed * 101 + 7)  # ok: caller-owned seed
+
+
+def from_config(workload_seed: int, offset: int = 0) -> random.Random:
+    return random.Random(workload_seed + offset)  # ok: seed-named value
