@@ -1,0 +1,63 @@
+"""Overload resilience: admission control, deadlines, liveness watchdog.
+
+The paper proves deadlock *removal* correct but leaves open what a system
+should do under sustained contention overload: Figure 2 shows unrestrained
+partial rollback can livelock, and Theorem 2's cure — a time-invariant
+partial order on preemption — is a policy obligation, not an enforcement
+mechanism.  This package supplies the enforcement layer a production-scale
+system needs on top of the core scheduler:
+
+:class:`~repro.admission.controller.AdmissionController`
+    Gates how many transactions run concurrently (the multiprogramming
+    level), queueing the rest; policies are pluggable (fixed MPL cap, or
+    an adaptive AIMD window driven by the observed rollback rate).
+:class:`~repro.admission.deadlines.DeadlineEnforcer`
+    Per-transaction deadlines in engine steps, with a deterministic
+    escalation ladder on expiry while blocked: partial-rollback self,
+    then total restart, then shed — never a silent loop.
+:class:`~repro.admission.watchdog.StarvationWatchdog`
+    Tracks preemption counts and no-progress windows, grants the eldest
+    starving transaction preemption immunity (Theorem 2 aging, bounding
+    its rollback count), and raises a structured
+    :class:`~repro.errors.LivelockDetected` when the bound is violated.
+:class:`~repro.admission.breaker.CircuitBreaker`
+    Per-site failure circuit breakers for the distributed scheduler.
+:class:`~repro.admission.guard.OverloadGuard`
+    Bundles the above into the single object
+    :class:`~repro.simulation.engine.SimulationEngine` ticks each step.
+:mod:`~repro.admission.stress`
+    Seeded open/closed-loop overload benchmark behind ``repro overload``.
+"""
+
+from .breaker import BreakerState, CircuitBreaker
+from .controller import AdmissionController
+from .deadlines import DeadlineEnforcer
+from .guard import OverloadGuard
+from .policies import (
+    AdmissionPolicy,
+    AdmissionSnapshot,
+    AimdPolicy,
+    FixedMplPolicy,
+    available_admission_policies,
+    make_admission_policy,
+)
+from .stress import OverloadConfig, OverloadReport, overload_run
+from .watchdog import StarvationWatchdog
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "AdmissionSnapshot",
+    "AimdPolicy",
+    "BreakerState",
+    "CircuitBreaker",
+    "DeadlineEnforcer",
+    "FixedMplPolicy",
+    "OverloadConfig",
+    "OverloadGuard",
+    "OverloadReport",
+    "StarvationWatchdog",
+    "available_admission_policies",
+    "make_admission_policy",
+    "overload_run",
+]

@@ -1,0 +1,96 @@
+"""Per-transaction deadlines with a deterministic escalation ladder.
+
+A transaction that blows its deadline while blocked is never left to loop
+silently.  Expiries escalate through three rungs, each of which resets the
+deadline clock:
+
+1. **Partial-rollback self** — back off one lock state (cancelling the
+   pending wait and freeing the most recently granted entity), the
+   cheapest way to get the transaction and its convoy moving again.
+2. **Total restart** — the partial retreat did not help; restart from
+   lock state 0, releasing everything.
+3. **Shed** — the system is overloaded beyond what retrying can fix; the
+   transaction is removed with an explicit
+   :data:`~repro.core.metrics.DEADLINE_EXCEEDED` outcome in metrics.
+
+A transaction that is READY (runnable) at expiry is making progress, so
+its deadline is extended rather than escalated — the ladder punishes being
+*stuck*, not being slow.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core.transaction import TxnStatus
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.scheduler import Scheduler
+
+
+class DeadlineEnforcer:
+    """Tracks deadlines (in engine steps) and runs the escalation ladder.
+
+    Parameters
+    ----------
+    deadline_steps:
+        Steps a watched transaction gets per rung before the next
+        escalation fires.
+    """
+
+    def __init__(self, deadline_steps: int = 400) -> None:
+        if deadline_steps < 1:
+            raise ValueError("deadline_steps must be positive")
+        self.deadline_steps = deadline_steps
+        self._deadline: dict[str, int] = {}
+        self._rung: dict[str, int] = {}
+
+    def watch(self, txn_id: str, step: int) -> None:
+        """Start the deadline clock for a newly admitted transaction."""
+        self._deadline[txn_id] = step + self.deadline_steps
+        self._rung[txn_id] = 0
+
+    def deadline_of(self, txn_id: str) -> int | None:
+        """The current deadline step for *txn_id* (``None`` if unwatched)."""
+        return self._deadline.get(txn_id)
+
+    def tick(self, scheduler: "Scheduler", step: int) -> None:
+        """Fire the ladder for every watched transaction past its deadline.
+
+        Iteration is over sorted ids so a tick that escalates several
+        transactions does so in a deterministic order.
+        """
+        for txn_id in sorted(self._deadline):
+            txn = scheduler.transactions.get(txn_id)
+            if txn is None or txn.done:
+                self._deadline.pop(txn_id, None)
+                self._rung.pop(txn_id, None)
+                continue
+            if step < self._deadline[txn_id]:
+                continue
+            if txn.status is not TxnStatus.BLOCKED:
+                # Runnable at expiry: it can make progress, so it gets
+                # another period instead of an escalation.
+                self._deadline[txn_id] = step + self.deadline_steps
+                continue
+            scheduler.metrics.deadline_expiries += 1
+            rung = self._rung[txn_id] = self._rung[txn_id] + 1
+            if rung == 1:
+                # Cancel the pending wait and free the most recent lock.
+                ideal = max(0, txn.lock_count - 1)
+                target = scheduler.strategy.choose_target(txn, ideal)
+                scheduler.force_rollback(
+                    txn_id, target, requester=txn_id, ideal_ordinal=ideal
+                )
+                scheduler.metrics.deadline_partials += 1
+                self._deadline[txn_id] = step + self.deadline_steps
+            elif rung == 2:
+                scheduler.force_rollback(
+                    txn_id, 0, requester=txn_id, ideal_ordinal=0
+                )
+                scheduler.metrics.deadline_restarts += 1
+                self._deadline[txn_id] = step + self.deadline_steps
+            else:
+                scheduler.shed(txn_id)
+                self._deadline.pop(txn_id, None)
+                self._rung.pop(txn_id, None)

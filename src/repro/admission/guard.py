@@ -1,0 +1,73 @@
+"""The overload guard: one object the simulation engine ticks per step.
+
+:class:`OverloadGuard` composes the three step-driven admission mechanisms
+— the admission controller, the deadline enforcer, and the starvation
+watchdog — behind the two calls the engine makes:
+
+* :meth:`submit` for every arrival (instead of registering directly), and
+* :meth:`tick` once per engine step (including idle steps).
+
+Each component is optional; a guard with only a watchdog is a pure
+liveness monitor, a guard with only a controller is a pure MPL gate.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .controller import AdmissionController
+from .deadlines import DeadlineEnforcer
+from .watchdog import StarvationWatchdog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.scheduler import Scheduler
+    from ..core.transaction import TransactionProgram
+
+
+class OverloadGuard:
+    """Admission + deadlines + watchdog, wired to one scheduler."""
+
+    def __init__(
+        self,
+        scheduler: "Scheduler",
+        controller: AdmissionController | None = None,
+        deadlines: DeadlineEnforcer | None = None,
+        watchdog: StarvationWatchdog | None = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self.controller = controller
+        self.deadlines = deadlines
+        self.watchdog = watchdog
+
+    def pending(self) -> int:
+        """Arrivals queued behind the admission gate."""
+        return self.controller.pending() if self.controller else 0
+
+    def submit(self, program: "TransactionProgram", step: int) -> None:
+        """Route one arrival: queue it behind the gate, or admit it now.
+
+        Without a controller the program registers immediately (and still
+        gets a deadline, when a deadline enforcer is configured).
+        """
+        if self.controller is not None:
+            self.controller.submit(program)
+            return
+        self.scheduler.register(program)
+        self.scheduler.metrics.admitted += 1
+        if self.deadlines is not None:
+            self.deadlines.watch(program.txn_id, step)
+
+    def tick(self, step: int) -> None:
+        """One guard step: admit, then enforce deadlines, then age.
+
+        Admission runs first so transactions admitted this step get their
+        deadline clocks started at this step.
+        """
+        if self.controller is not None:
+            for txn_id in self.controller.tick(self.scheduler, step):
+                if self.deadlines is not None:
+                    self.deadlines.watch(txn_id, step)
+        if self.deadlines is not None:
+            self.deadlines.tick(self.scheduler, step)
+        if self.watchdog is not None:
+            self.watchdog.tick(self.scheduler, step)

@@ -20,6 +20,12 @@ Commands
     recovery, network faults, storage faults, stalls — either a seeded
     campaign or a crash-at-every-step recovery-equivalence sweep
     (see ``docs/RESILIENCE.md``).
+``overload``
+    Seeded open/closed-loop stress runs through the admission layer:
+    MPL gating (fixed or AIMD), per-transaction deadline ladders, the
+    Theorem 2 starvation watchdog.  Prints throughput, shed rate, p99
+    commit latency in steps, and the watchdog verdict
+    (see ``docs/RESILIENCE.md``).
 ``lint``
     The repo's own static analysis: determinism / lock-discipline /
     registration rules (RR001–RR004) plus ``--predict``, which builds a
@@ -27,8 +33,8 @@ Commands
     deadlocks reachable in *alternate* interleavings, cross-validated
     by engine replay (see ``docs/STATIC_ANALYSIS.md``).
 
-``fuzz``, ``chaos`` and ``lint`` exit non-zero when anything fires, so
-CI can gate on them directly.
+``fuzz``, ``chaos``, ``overload`` and ``lint`` exit non-zero when
+anything fires, so CI can gate on them directly.
 """
 
 from __future__ import annotations
@@ -186,6 +192,7 @@ def cmd_fuzz(args) -> int:
 
     from .core.rollback import make_strategy
     from .verification import make_oracles, resolve_policy
+    from .verification.fuzzer import apply_profile
 
     strategies = tuple(
         s.strip() for s in args.strategies.split(",") if s.strip()
@@ -212,6 +219,9 @@ def cmd_fuzz(args) -> int:
         shrink_failures=not args.no_shrink,
         time_budget=args.time_budget,
     )
+    # Profile overrides win over the shape flags: ``--profile hot`` is a
+    # named preset, not a default the flags tweak.
+    config = apply_profile(config, args.profile)
     report = fuzz_campaign(config)
     print(f"{'seed':>16}: {config.seed}")
     print(f"{'rounds':>16}: {report.rounds}")
@@ -325,6 +335,54 @@ def cmd_chaos(args) -> int:
     if len(report.violations) > args.max_report:
         print(f"  ... and {len(report.violations) - args.max_report} more")
     return 0 if report.ok else 1
+
+
+def cmd_overload(args) -> int:
+    from .admission.stress import OverloadConfig, overload_run
+    from .errors import LivelockDetected
+
+    admission = None if args.admission == "none" else args.admission
+    if args.smoke:
+        # A small fixed-shape run for CI gating: known to drain cleanly
+        # (zero starved) at any seed within the step budget.
+        config = OverloadConfig(
+            n_transactions=12,
+            n_entities=4,
+            locks_per_txn=(2, 3),
+            admission_policy=admission,
+            deadline_steps=400,
+            max_steps=60_000,
+        )
+    else:
+        config = OverloadConfig(
+            n_transactions=args.transactions,
+            n_entities=args.entities,
+            locks_per_txn=tuple(args.locks),
+            write_ratio=args.write_ratio,
+            interarrival=args.interarrival,
+            admission_policy=admission,
+            mpl=args.mpl,
+            deadline_steps=args.deadline,
+            watchdog=not args.no_watchdog,
+            preemption_limit=args.preemption_limit,
+            strategy=args.strategy,
+            policy=args.policy,
+            max_steps=args.max_steps,
+        )
+    try:
+        report, _result = overload_run(config, seed=args.seed)
+    except LivelockDetected as exc:
+        print(f"livelock detected: {exc}")
+        if exc.diagnosis is not None:
+            print(exc.diagnosis.describe())
+        return 1
+    print(f"seed                 {args.seed}")
+    print(f"mode                 "
+          f"{'closed loop' if config.interarrival == 0 else 'open loop'}"
+          f"{' (smoke)' if args.smoke else ''}")
+    print(report.describe())
+    print(f"fingerprint          {report.fingerprint()}")
+    return 0 if report.no_starvation else 1
 
 
 def cmd_lint(args) -> int:
@@ -455,6 +513,7 @@ def build_parser() -> argparse.ArgumentParser:
     from .staticcheck import all_rules
     from .verification import COPY_STRATEGIES, oracle_names
     from .verification.faults import FAULT_POLICIES
+    from .verification.fuzzer import FUZZ_PROFILES
 
     fault_policy_names = tuple(sorted(FAULT_POLICIES))
     # The epilogs enumerate the registries at parser-build time, so
@@ -541,6 +600,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument("--write-ratio", type=float, default=0.75,
                         help="write ratio for mixed (odd) rounds; even "
                              "rounds are always exclusive-only")
+    p_fuzz.add_argument("--profile",
+                        choices=tuple(sorted(FUZZ_PROFILES)),
+                        default="default",
+                        help="named workload preset ('hot' = high "
+                             "contention: many writers, few entities)")
     p_fuzz.add_argument("--time-budget", type=float, default=None,
                         help="wall-clock cap in seconds (CI smoke runs)")
     p_fuzz.add_argument("--no-shrink", action="store_true",
@@ -609,6 +673,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--max-report", type=int, default=5,
                          help="violations to print in full")
     p_chaos.set_defaults(fn=cmd_chaos)
+
+    p_over = sub.add_parser(
+        "overload",
+        help="seeded overload stress through the admission layer "
+             "(see docs/RESILIENCE.md)",
+        epilog=registry_epilog,
+    )
+    p_over.add_argument("--seed", type=int, default=0,
+                        help="workload + interleaving + AIMD probe seed")
+    p_over.add_argument("--smoke", action="store_true",
+                        help="small fixed-shape run for CI gating "
+                             "(ignores the workload flags)")
+    p_over.add_argument("--transactions", type=int, default=32)
+    p_over.add_argument("--entities", type=int, default=6)
+    p_over.add_argument("--locks", type=int, nargs=2, default=(2, 4),
+                        metavar=("MIN", "MAX"))
+    p_over.add_argument("--write-ratio", type=float, default=1.0)
+    p_over.add_argument("--interarrival", type=int, default=0,
+                        help="steps between arrivals (0 = closed loop: "
+                             "everything arrives at step 0)")
+    p_over.add_argument("--admission",
+                        choices=("aimd", "fixed-mpl", "none"),
+                        default="aimd",
+                        help="admission policy gating registration")
+    p_over.add_argument("--mpl", type=int, default=8,
+                        help="multiprogramming level for fixed-mpl")
+    p_over.add_argument("--deadline", type=int, default=600,
+                        help="steps before the escalation ladder starts "
+                             "(0 = no deadlines)")
+    p_over.add_argument("--no-watchdog", action="store_true",
+                        help="disable the starvation watchdog")
+    p_over.add_argument("--preemption-limit", type=int, default=4,
+                        help="preemptions before the watchdog grants "
+                             "immunity (Theorem 2 aging)")
+    p_over.add_argument("--strategy", choices=STRATEGIES, default="mcs")
+    p_over.add_argument("--policy", choices=POLICIES,
+                        default="ordered-min-cost")
+    p_over.add_argument("--max-steps", type=int, default=200_000)
+    p_over.set_defaults(fn=cmd_overload)
 
     p_lint = sub.add_parser(
         "lint",

@@ -12,6 +12,10 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 
+#: Reason string recorded when a transaction is shed past its deadline.
+DEADLINE_EXCEEDED = "deadline-exceeded"
+
+
 @dataclass
 class RollbackEvent:
     """One recorded rollback: who, how far, and what it cost."""
@@ -41,11 +45,21 @@ class Metrics:
     degraded_restarts: int = 0
     backoff_stalls: int = 0
     restart_escalations: int = 0
+    admitted: int = 0
+    shed: int = 0
+    admission_queue_peak: int = 0
+    deadline_expiries: int = 0
+    deadline_partials: int = 0
+    deadline_restarts: int = 0
+    immunity_grants: int = 0
+    breaker_opens: int = 0
+    breaker_rejections: int = 0
     rollback_events: list[RollbackEvent] = field(default_factory=list)
     rollbacks_by_victim: Counter = field(default_factory=Counter)
     preemptions: Counter = field(default_factory=Counter)
     blocks_by_entity: Counter = field(default_factory=Counter)
     deadlock_entities: Counter = field(default_factory=Counter)
+    shed_outcomes: dict[str, str] = field(default_factory=dict)
 
     def record_rollback(
         self,
@@ -73,6 +87,20 @@ class Metrics:
         self.rollbacks_by_victim[victim] += 1
         if victim != requester:
             self.preemptions[(requester, victim)] += 1
+
+    def record_shed(self, txn_id: str, reason: str = DEADLINE_EXCEEDED) -> None:
+        """A transaction was removed from the system without committing.
+
+        Shedding is always explicit — *reason* names the policy decision
+        (the deadline ladder's last rung records :data:`DEADLINE_EXCEEDED`)
+        so that "never silently looping" is auditable after the run.
+        """
+        self.shed += 1
+        self.shed_outcomes[txn_id] = reason
+
+    def observe_admission_queue(self, depth: int) -> None:
+        """Track the peak depth of the admission controller's wait queue."""
+        self.admission_queue_peak = max(self.admission_queue_peak, depth)
 
     def observe_copies(self, copies: int) -> None:
         """Track the peak number of stored value copies across the system."""
@@ -132,4 +160,13 @@ class Metrics:
             "degraded_restarts": self.degraded_restarts,
             "backoff_stalls": self.backoff_stalls,
             "restart_escalations": self.restart_escalations,
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "admission_queue_peak": self.admission_queue_peak,
+            "deadline_expiries": self.deadline_expiries,
+            "deadline_partials": self.deadline_partials,
+            "deadline_restarts": self.deadline_restarts,
+            "immunity_grants": self.immunity_grants,
+            "breaker_opens": self.breaker_opens,
+            "breaker_rejections": self.breaker_rejections,
         }

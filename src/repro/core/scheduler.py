@@ -23,6 +23,7 @@ if TYPE_CHECKING:  # avoids the resilience/graphs <-> core import cycles
 
 from ..errors import (
     LockError,
+    QuiescenceTimeout,
     SimulationError,
     StorageFault,
     UnknownTransactionError,
@@ -32,7 +33,8 @@ from ..locking.modes import LockMode
 from ..locking.table import Grant
 from ..storage.database import Database
 from .detection import Deadlock, DeadlockDetector
-from .metrics import Metrics
+from .diagnosis import diagnose
+from .metrics import DEADLINE_EXCEEDED, Metrics
 from .operations import (
     Assign,
     DeclareLastLock,
@@ -139,6 +141,11 @@ class Scheduler:
         #: by the strategy during a rollback degrades the victim to a total
         #: restart instead of propagating (graceful degradation).
         self.degrade_on_fault = True
+        #: Transactions currently holding preemption immunity.  Maintained
+        #: by the admission layer's starvation watchdog (aged transactions
+        #: per Theorem 2's partial order); victim policies treat members as
+        #: off-limits candidates, bounding any transaction's rollback count.
+        self.preemption_immune: set[TxnId] = set()
 
     # -- registration ------------------------------------------------------
 
@@ -182,8 +189,8 @@ class Scheduler:
         txn = self.transaction(txn_id)
         if txn.status is TxnStatus.BLOCKED:
             return StepResult(txn_id, StepOutcome.WAITING)
-        if txn.status is TxnStatus.COMMITTED:
-            raise SimulationError(f"{txn_id} already committed")
+        if txn.done:
+            raise SimulationError(f"{txn_id} already {txn.status}")
         op = txn.current_operation()
         if op is None:
             self._commit(txn)
@@ -230,7 +237,17 @@ class Scheduler:
     def run_until_quiescent(self, max_steps: int = 1_000_000) -> None:
         """Round-robin driver: step every runnable transaction until all
         commit.  Deterministic; used by tests and small examples (the
-        simulation engine offers richer interleavings)."""
+        simulation engine offers richer interleavings).
+
+        Raises
+        ------
+        QuiescenceTimeout
+            When *max_steps* runs out first.  The exception carries a
+            :class:`~repro.core.diagnosis.LivelockDiagnosis` so callers
+            can distinguish an undersized budget from genuine starvation
+            (who was runnable, the waits-for graph, the preemption
+            history, the suspected Figure-2 pair).
+        """
         steps = 0
         while not self.all_done:
             runnable = self.runnable()
@@ -244,7 +261,10 @@ class Scheduler:
                     self.step(txn_id)
                 steps += 1
                 if steps > max_steps:
-                    raise SimulationError(f"exceeded {max_steps} steps")
+                    raise QuiescenceTimeout(
+                        f"exceeded {max_steps} steps",
+                        diagnosis=diagnose(self, step=steps),
+                    )
 
     # -- lock handling ------------------------------------------------------
 
@@ -374,7 +394,12 @@ class Scheduler:
         return self.detector.check(requester)
 
     def _resolve(self, deadlock: Deadlock) -> list[RollbackAction]:
-        ctx = VictimContext(deadlock, self.transactions, self.strategy)
+        ctx = VictimContext(
+            deadlock,
+            self.transactions,
+            self.strategy,
+            immune=frozenset(self.preemption_immune),
+        )
         actions = self.policy.select(ctx)
         for action in actions:
             self._apply_rollback(action, deadlock)
@@ -484,6 +509,29 @@ class Scheduler:
             ideal_ordinal=ideal,
             states_lost=states_lost,
         )
+        for grant in grants:
+            self._complete_grant(grant)
+
+    def shed(self, txn_id: TxnId, reason: str = DEADLINE_EXCEEDED) -> None:
+        """Remove *txn_id* from the system without committing it.
+
+        The last rung of the deadline-escalation ladder (and the circuit
+        breaker's degradation path): cancel any pending wait, release every
+        held lock *without installing values* (the transaction's writes are
+        abandoned, never made global), tear down its strategy storage, and
+        mark it :attr:`~repro.core.transaction.TxnStatus.SHED` — a terminal
+        status recorded in metrics so the outcome is always explicit.
+        """
+        txn = self.transaction(txn_id)
+        if txn.done:
+            raise SimulationError(f"{txn_id} already {txn.status}")
+        grants = self.lock_manager.cancel_wait(txn.txn_id)
+        held = sorted(self.lock_manager.locks_held(txn.txn_id))
+        grants += self.lock_manager.release_for_rollback(txn.txn_id, held)
+        self.strategy.on_finish(txn)
+        txn.status = TxnStatus.SHED
+        self.preemption_immune.discard(txn_id)
+        self.metrics.record_shed(txn_id, reason)
         for grant in grants:
             self._complete_grant(grant)
 

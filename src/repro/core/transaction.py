@@ -180,6 +180,7 @@ class TxnStatus(enum.Enum):
     READY = "ready"
     BLOCKED = "blocked"
     COMMITTED = "committed"
+    SHED = "shed"
 
     def __str__(self) -> str:
         return self.value
@@ -245,7 +246,8 @@ class Transaction:
 
     @property
     def done(self) -> bool:
-        return self.status is TxnStatus.COMMITTED
+        """Terminal states: committed, or explicitly shed by admission."""
+        return self.status in (TxnStatus.COMMITTED, TxnStatus.SHED)
 
     def current_operation(self) -> Operation | None:
         """The next operation to execute, or ``None`` at end of program."""
@@ -294,9 +296,9 @@ class Transaction:
         value restoration via the strategy; this method only rewinds the
         program counter, the lock records, and the loss accounting.
         """
-        if self.status is TxnStatus.COMMITTED:
+        if self.done:
             raise ProtocolViolation(
-                f"{self.txn_id} cannot be rolled back after commit"
+                f"{self.txn_id} cannot be rolled back after {self.status}"
             )
         target_state = self.lock_state_state_index(ordinal)
         self.ops_lost_to_rollback += self.state_index - target_state

@@ -78,11 +78,27 @@ class VictimContext:
         deadlock: Deadlock,
         transactions: Mapping[TxnId, Transaction],
         strategy: RollbackStrategy,
+        immune: frozenset[TxnId] = frozenset(),
     ) -> None:
         self.deadlock = deadlock
         self.transactions = transactions
         self.strategy = strategy
+        #: Transactions holding preemption immunity (granted by the
+        #: starvation watchdog to aged transactions, bounding their
+        #: rollback count per Theorem 2).  Policies treat immunity as a
+        #: candidate filter and additionally steer away from choosing an
+        #: immune *requester* as its own victim while any other cover
+        #: exists — Figure 2's livelock can alternate self-rollbacks, so
+        #: an aged transaction must stop losing states in both roles.
+        #: Self-rollback remains the fallback of last resort (every cycle
+        #: passes through the requester, so it always resolves).
+        self.immune = frozenset(immune)
         self._actions: dict[TxnId, RollbackAction] = {}
+
+    def immune_members(self) -> set[TxnId]:
+        """Deadlock members a policy must not preempt (requester excluded —
+        self-rollback is always permitted)."""
+        return (self.immune & set(self.deadlock.members)) - {self.requester}
 
     @property
     def requester(self) -> TxnId:
@@ -150,6 +166,34 @@ class MinCostPolicy(VictimPolicy):
 
     def select(self, ctx: VictimContext) -> list[RollbackAction]:
         members = ctx.deadlock.members
+        avoid = ctx.immune & set(members)
+        if avoid:
+            # Watchdog-aged transactions are off limits — including an
+            # immune requester, whose self-rollback would keep its state
+            # loss growing just like a preemption would.  Try the
+            # cheapest cover without any immune member first, then allow
+            # the requester back in, then fall back to pure self-rollback
+            # (always feasible: every cycle passes through the requester).
+            victims: set[TxnId] | None = None
+            for candidates in (
+                set(members) - avoid,
+                set(members) - (avoid - {ctx.requester}),
+            ):
+                if not candidates:
+                    continue
+                try:
+                    victims = algorithms.min_cost_vertex_cut(
+                        ctx.deadlock.cycles,
+                        cost=ctx.cost_of,
+                        candidates=candidates,
+                    )
+                except ValueError:
+                    victims = None
+                if victims is not None:
+                    break
+            if victims is None:
+                victims = {ctx.requester}
+            return self._validated(ctx, victims)
         if len(members) <= self._exact_limit:
             victims = algorithms.min_cost_vertex_cut(
                 ctx.deadlock.cycles, cost=ctx.cost_of
@@ -181,7 +225,7 @@ class OrderedMinCostPolicy(VictimPolicy):
             txn_id
             for txn_id in ctx.deadlock.members
             if ctx.entry_order(txn_id) > requester_order
-        }
+        } - ctx.immune_members()
         cycles = ctx.deadlock.cycles
         # Prefer the cheapest cover among strictly-younger members: every
         # preemption arc then runs old -> young, so no set of transactions
@@ -219,10 +263,18 @@ class _EntryOrderPolicy(VictimPolicy):
         self._prefer_latest = prefer_latest
 
     def select(self, ctx: VictimContext) -> list[RollbackAction]:
+        immune = ctx.immune_members()
         remaining = [list(cycle) for cycle in ctx.deadlock.cycles]
         victims: set[TxnId] = set()
         while remaining:
-            pool = {txn_id for cycle in remaining for txn_id in cycle}
+            pool = {
+                txn_id for cycle in remaining for txn_id in cycle
+            } - immune
+            if not pool:
+                # Every remaining member is immune; the requester is on
+                # every cycle and may always roll itself back.
+                victims.add(ctx.requester)
+                break
             key: Callable[[TxnId], tuple] = lambda t: (ctx.entry_order(t), t)
             chosen = max(pool, key=key) if self._prefer_latest else min(
                 pool, key=key

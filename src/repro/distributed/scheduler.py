@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import random
 
+from ..admission.breaker import CircuitBreaker
 from ..core.detection import Deadlock
 from ..core.scheduler import Scheduler, StepOutcome, StepResult
 from ..core.transaction import Transaction, TransactionProgram, TxnStatus
@@ -84,6 +85,17 @@ class DistributedScheduler(Scheduler):
     backoff_seed:
         Seed of the private jitter generator — same seed, same jitter
         sequence, fully reproducible runs.
+    breaker_threshold:
+        Denied/rolled-back requests within ``breaker_window`` clock steps
+        that trip a site's circuit breaker (``0`` disables breakers, the
+        default).  While a site's breaker is OPEN, lock requests against
+        its entities are rerouted to degradation — the requester totally
+        restarts (abandoning held progress) and stalls until the breaker
+        half-opens — *without* consuming its retry budget: the site is
+        the problem, not the transaction.
+    breaker_window / breaker_cooldown:
+        Sliding failure-count window and OPEN-state cool-down, in clock
+        steps.
     """
 
     def __init__(
@@ -99,6 +111,9 @@ class DistributedScheduler(Scheduler):
         backoff_base: int = 2,
         backoff_cap: int = 64,
         backoff_seed: int = 0,
+        breaker_threshold: int = 0,
+        breaker_window: int = 50,
+        breaker_cooldown: int = 100,
     ) -> None:
         super().__init__(
             database,
@@ -125,6 +140,14 @@ class DistributedScheduler(Scheduler):
         self.retry_budget = retry_budget
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
+        if breaker_threshold < 0:
+            raise ValueError("breaker_threshold must be non-negative")
+        self.breaker_threshold = breaker_threshold
+        self.breaker_window = breaker_window
+        self.breaker_cooldown = breaker_cooldown
+        #: Per-site circuit breakers, created on first request to a site
+        #: (only when ``breaker_threshold > 0``).
+        self.breakers: dict[str, CircuitBreaker] = {}
         self.message_log = MessageLog()
         self._blocked_since: dict[TxnId, int] = {}
         self._retry_attempts: dict[TxnId, int] = {}
@@ -231,19 +254,61 @@ class DistributedScheduler(Scheduler):
 
     # -- lock handling with placement, messages, and timestamp rules ----------
 
+    def _breaker_for(self, site: str) -> CircuitBreaker | None:
+        """The (lazily created) breaker guarding *site*, if enabled."""
+        if not self.breaker_threshold:
+            return None
+        if site not in self.breakers:
+            self.breakers[site] = CircuitBreaker(
+                failure_threshold=self.breaker_threshold,
+                window=self.breaker_window,
+                cooldown=self.breaker_cooldown,
+            )
+        return self.breakers[site]
+
+    def _reject_open_site(
+        self, txn: Transaction, breaker: CircuitBreaker
+    ) -> StepResult:
+        """Degradation path for a request against an OPEN site.
+
+        The requester abandons its held progress with a total restart
+        (bypassing :meth:`_penalise_retry` — the site is at fault, not the
+        transaction, so no retry budget is charged) and stalls until the
+        breaker half-opens, so it does not spin re-issuing the request
+        against a site that cannot answer.
+        """
+        self.metrics.breaker_rejections += 1
+        if txn.lock_records:
+            self._notify_rollback(txn, 0)
+            Scheduler.force_rollback(
+                self, txn.txn_id, 0, requester=txn.txn_id, ideal_ordinal=0
+            )
+        self._stalled_until[txn.txn_id] = max(
+            self._stalled_until.get(txn.txn_id, 0), breaker.reopen_at()
+        )
+        self._blocked_since.pop(txn.txn_id, None)
+        return StepResult(txn.txn_id, StepOutcome.BLOCKED, actions=[])
+
     def _execute_lock(self, txn: Transaction, op: Lock) -> StepResult:
         home = self.partition.home_of(txn.txn_id)
         owner = self.partition.site_of_entity(op.entity_name)
+        breaker = self._breaker_for(owner)
+        if breaker is not None and not breaker.allow(self._clock):
+            return self._reject_open_site(txn, breaker)
         self.message_log.send(
             home, owner, MessageType.LOCK_REQUEST, txn.txn_id, op.entity_name
         )
         result = super()._execute_lock(txn, op)
         if result.outcome is StepOutcome.GRANTED:
+            if breaker is not None:
+                breaker.record_success(self._clock)
             self.message_log.send(
                 owner, home, MessageType.LOCK_GRANT, txn.txn_id,
                 op.entity_name,
             )
             return result
+        if breaker is not None and breaker.record_failure(self._clock):
+            self.metrics.breaker_opens += 1
         self.message_log.send(
             owner, home, MessageType.LOCK_DENIED_WAIT, txn.txn_id,
             op.entity_name,
@@ -316,6 +381,12 @@ class DistributedScheduler(Scheduler):
         wounded = False
         for blocker in cross:
             if txn.entry_order < blocker.entry_order:
+                if blocker.txn_id in self.preemption_immune:
+                    # The starvation watchdog aged this holder; wounding it
+                    # would violate its rollback bound.  The requester
+                    # waits instead (the timeout ladder still guarantees
+                    # progress).
+                    continue
                 record = blocker.record_for_entity(op.entity_name)
                 if record is None or not record.granted:
                     continue  # queued ahead, holds nothing to free
@@ -426,6 +497,19 @@ class DistributedScheduler(Scheduler):
         super().force_rollback(
             txn_id, target_ordinal, requester, ideal_ordinal
         )
+
+    def shed(self, txn_id: TxnId, reason: str | None = None) -> None:
+        """Shed with remote bookkeeping: notify owning sites of the lock
+        releases and drop the victim's distributed retry state."""
+        txn = self.transaction(txn_id)
+        self._notify_rollback(txn, 0)
+        if reason is None:
+            super().shed(txn_id)
+        else:
+            super().shed(txn_id, reason)
+        self._blocked_since.pop(txn_id, None)
+        self._retry_attempts.pop(txn_id, None)
+        self._stalled_until.pop(txn_id, None)
 
     def _notify_rollback(self, txn: Transaction, target: int) -> None:
         """Ship rollback notifications to remote sites whose entities the

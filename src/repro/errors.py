@@ -67,6 +67,38 @@ class SimulationError(ReproError):
     """The simulation engine reached an inconsistent or impossible state."""
 
 
+class QuiescenceTimeout(SimulationError):
+    """A driver's step budget ran out before every transaction finished.
+
+    Carries a :class:`repro.core.diagnosis.LivelockDiagnosis` snapshot —
+    the runnable/blocked split, the waits-for graph, and the preemption
+    history — so the caller can tell an undersized budget apart from a
+    genuine starvation or livelock condition.
+    """
+
+    def __init__(self, message: str, diagnosis=None) -> None:
+        super().__init__(message)
+        #: :class:`repro.core.diagnosis.LivelockDiagnosis` | None
+        self.diagnosis = diagnosis
+
+
+class LivelockDetected(SimulationError):
+    """The starvation watchdog observed an unbounded preemption pattern.
+
+    Raised when a transaction is preempted *despite* holding preemption
+    immunity — the configured rollback bound is violated, which means the
+    active victim policy ignores the Theorem 2 partial order (the paper's
+    Figure 2 "potentially infinite mutual preemption").  Carries the same
+    structured :class:`repro.core.diagnosis.LivelockDiagnosis` as
+    :class:`QuiescenceTimeout`.
+    """
+
+    def __init__(self, message: str, diagnosis=None) -> None:
+        super().__init__(message)
+        #: :class:`repro.core.diagnosis.LivelockDiagnosis` | None
+        self.diagnosis = diagnosis
+
+
 class ConsistencyViolation(ReproError):
     """A database consistency constraint was violated.
 

@@ -14,7 +14,10 @@ the run is flagged (and optionally aborted) rather than spinning forever.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # avoids the admission <-> simulation import cycle
+    from ..admission.guard import OverloadGuard
 
 from ..core.metrics import Metrics
 from ..core.scheduler import Scheduler, StepOutcome
@@ -42,6 +45,9 @@ class SimulationResult:
     final_state: dict = field(default_factory=dict)
     mean_runnable: float = 0.0
     mean_blocked: float = 0.0
+    #: Transactions removed by the overload guard without committing
+    #: (deadline ladder's last rung), sorted by id.
+    shed: list[str] = field(default_factory=list)
 
     @property
     def all_committed(self) -> bool:
@@ -72,6 +78,12 @@ class SimulationEngine:
     on_step:
         Optional :data:`StepObserver` invoked after every recorded step
         (both :meth:`run` and :meth:`step_transaction`).
+    overload:
+        Optional :class:`~repro.admission.guard.OverloadGuard`.  When
+        present, dynamic arrivals are routed through its admission gate
+        instead of registering directly, and the guard is ticked once per
+        engine step (including idle steps) so deadlines and starvation
+        aging advance with time.
     """
 
     def __init__(
@@ -82,6 +94,7 @@ class SimulationEngine:
         livelock_window: int = 0,
         stop_on_livelock: bool = True,
         on_step: StepObserver | None = None,
+        overload: "OverloadGuard | None" = None,
     ) -> None:
         self.scheduler = scheduler
         self.interleaving = interleaving or RoundRobin()
@@ -89,6 +102,7 @@ class SimulationEngine:
         self.livelock_window = livelock_window
         self.stop_on_livelock = stop_on_livelock
         self.on_step = on_step
+        self.overload = overload
         self.trace = Trace()
         self._pending_arrivals: list[tuple[int, TransactionProgram]] = []
 
@@ -115,30 +129,53 @@ class SimulationEngine:
         blocked_sum = 0
         self.interleaving.reset()
         step_hook = getattr(self.scheduler, "on_engine_step", None)
-        while not self.scheduler.all_done or self._pending_arrivals:
+        guard = self.overload
+        while (
+            not self.scheduler.all_done
+            or self._pending_arrivals
+            or (guard is not None and guard.pending())
+        ):
             while (
                 self._pending_arrivals
                 and self._pending_arrivals[0][0] <= steps
             ):
                 _arrival, program = self._pending_arrivals.pop(0)
-                self.scheduler.register(program)
+                if guard is not None:
+                    guard.submit(program, steps)
+                else:
+                    self.scheduler.register(program)
             if step_hook is not None:
                 step_hook(steps)
+            if guard is not None:
+                guard.tick(steps)
             runnable = self.scheduler.runnable()
-            if not runnable and self._pending_arrivals:
+            if not runnable and self._pending_arrivals and guard is None:
                 # Idle until the next arrival: fast-forward the clock.
+                # (With an overload guard, deadlines and admission windows
+                # are step-driven, so time must pass tick by tick below.)
                 steps = max(steps, self._pending_arrivals[0][0])
                 continue
-            if not runnable and step_hook is not None:
+            if not runnable and (step_hook is not None or guard is not None):
                 # Everything is blocked; only the scheduler's time-based
-                # machinery (e.g. distributed wait timeouts) can unwedge the
+                # machinery (distributed wait timeouts, deadline
+                # escalation, admission-window growth) can unwedge the
                 # system.  Advance idle time until it does or gives up.
                 for idle in range(self.max_steps):
                     steps += 1
-                    step_hook(steps)
+                    if step_hook is not None:
+                        step_hook(steps)
+                    if guard is not None:
+                        guard.tick(steps)
                     runnable = self.scheduler.runnable()
                     if runnable:
                         break
+                    if (
+                        self._pending_arrivals
+                        and self._pending_arrivals[0][0] <= steps
+                    ):
+                        break
+                if not runnable and self._pending_arrivals:
+                    continue
             if not runnable:
                 raise SimulationError(
                     "all transactions blocked but none committed: undetected "
@@ -188,6 +225,11 @@ class SimulationEngine:
             final_state=self.scheduler.database.snapshot(),
             mean_runnable=runnable_sum / steps if steps else 0.0,
             mean_blocked=blocked_sum / steps if steps else 0.0,
+            shed=sorted(
+                txn_id
+                for txn_id, txn in self.scheduler.transactions.items()
+                if txn.status is TxnStatus.SHED
+            ),
         )
 
     def step_transaction(self, txn_id: str):

@@ -418,6 +418,10 @@ def predict_corpus(
     reports: list[PredictionReport] = []
     for path in sorted(corpus.glob("*.json")):
         case, _expect = load_case(path)
+        if not isinstance(case, ReplayCase):
+            # Non-replay kinds (e.g. overload comparisons) carry no
+            # recorded schedule to build a lock-order graph from.
+            continue
         reports.append(
             predict_case(
                 case,

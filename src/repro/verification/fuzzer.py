@@ -33,6 +33,32 @@ from .shrinker import ShrinkResult, shrink
 #: k-copy clamping paths.
 _SKEWS = ("hotspot", "uniform", "zipf")
 
+#: Named campaign presets (``repro fuzz --profile``).  ``hot`` is the
+#: high-contention shape the overload work targets: many writers fighting
+#: over very few entities, where every round is deadlock-dense and the
+#: rollback machinery (and its bounds) actually gets exercised.
+FUZZ_PROFILES: dict[str, dict[str, object]] = {
+    "default": {},
+    "hot": {
+        "n_transactions": 8,
+        "n_entities": 3,
+        "locks_per_txn": (2, 3),
+        "write_ratio": 1.0,
+    },
+}
+
+
+def apply_profile(config: "FuzzConfig", profile: str) -> "FuzzConfig":
+    """A copy of *config* with the named profile's overrides applied."""
+    if profile not in FUZZ_PROFILES:
+        raise ValueError(
+            f"unknown fuzz profile {profile!r}; choose from "
+            f"{sorted(FUZZ_PROFILES)}"
+        )
+    from dataclasses import replace
+
+    return replace(config, **FUZZ_PROFILES[profile])  # type: ignore[arg-type]
+
 
 @dataclass
 class FuzzConfig:

@@ -34,6 +34,12 @@ Oracles and their provenance:
 ``livelock-free``
     Theorem 2's consequence: an order-respecting policy cannot livelock;
     a run flagged as livelocked under such a policy is a bug.
+``no-starvation``
+    The overload layer's liveness contract: every admitted transaction
+    reaches an *explicit* terminal state — commit, or a shed recorded in
+    metrics — within a bounded number of engine steps of admission.  A
+    transaction still live past the bound, or a shed with no recorded
+    reason, is starvation the admission machinery failed to prevent.
 """
 
 from __future__ import annotations
@@ -297,6 +303,59 @@ class PreemptionOrderOracle(Oracle):
             )
 
 
+class NoStarvationOracle(Oracle):
+    """Every admitted transaction commits or is explicitly shed in time.
+
+    Parameters
+    ----------
+    limit:
+        Engine steps a transaction may stay live after it is first seen.
+        The default is deliberately generous so the oracle stays silent on
+        ordinary fuzz workloads; overload harnesses construct it with a
+        bound derived from the configured deadline ladder
+        (``3 * deadline_steps`` covers all three rungs, plus slack).
+    """
+
+    name = "no-starvation"
+
+    #: Default liveness bound (steps from first sighting to terminal state).
+    DEFAULT_LIMIT = 20_000
+
+    def __init__(self, limit: int = DEFAULT_LIMIT) -> None:
+        if limit < 1:
+            raise ValueError("limit must be positive")
+        self.limit = limit
+        self._first_seen: dict[str, int] = {}
+
+    def reset(self) -> None:
+        self._first_seen.clear()
+
+    def check(self, scheduler: Scheduler, event: TraceEvent) -> None:
+        for txn_id in sorted(scheduler.transactions):
+            txn = scheduler.transactions[txn_id]
+            if txn_id not in self._first_seen:
+                self._first_seen[txn_id] = event.step
+            if txn.status is TxnStatus.SHED and (
+                txn_id not in scheduler.metrics.shed_outcomes
+            ):
+                self._fail(
+                    f"{txn_id} was shed without a recorded reason at step "
+                    f"{event.step} (sheds must be explicit)",
+                    event,
+                )
+            if txn.done:
+                continue
+            elapsed = event.step - self._first_seen[txn_id]
+            if elapsed > self.limit:
+                self._fail(
+                    f"{txn_id} still {txn.status} {elapsed} steps after "
+                    f"admission (bound {self.limit}): starvation the "
+                    f"admission/deadline machinery failed to prevent "
+                    f"(rollback count {txn.rollback_count})",
+                    event,
+                )
+
+
 #: Policies whose victim choice respects a time-invariant partial order
 #: (the requester itself, or a strictly later entrant).  For these the
 #: ``preemption-order`` and ``livelock-free`` oracles apply.
@@ -316,6 +375,7 @@ _ORACLE_TYPES: dict[str, type[Oracle]] = {
     NoCommitLossOracle.name: NoCommitLossOracle,
     LockTableConsistencyOracle.name: LockTableConsistencyOracle,
     PreemptionOrderOracle.name: PreemptionOrderOracle,
+    NoStarvationOracle.name: NoStarvationOracle,
 }
 
 

@@ -17,10 +17,20 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from .cases import ReplayCase, replay
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..admission.stress import OverloadRegression
+
 FORMAT_VERSION = 1
+
+#: Case kinds this loader understands.  ``replay`` (the default when the
+#: field is absent) is a shrunk scripted-schedule case; ``overload`` pins
+#: an admission-control comparison (see
+#: :class:`repro.admission.stress.OverloadRegression`).
+CASE_KINDS = ("replay", "overload")
 
 #: Expectation values: the oracle that must fire, or no violation at all.
 EXPECT_CLEAN = "clean"
@@ -46,8 +56,15 @@ def save_case(case: ReplayCase, path: str | Path) -> Path:
     return path
 
 
-def load_case(path: str | Path) -> tuple[ReplayCase, str]:
-    """Read a regression file; returns ``(case, expectation)``."""
+def load_case(
+    path: str | Path,
+) -> tuple["ReplayCase | OverloadRegression", str]:
+    """Read a regression file; returns ``(case, expectation)``.
+
+    The optional ``"kind"`` field dispatches to non-replay case types;
+    ``"overload"`` cases are loaded through :mod:`repro.admission.stress`
+    (imported lazily — that package imports this one's sibling modules).
+    """
     document = json.loads(Path(path).read_text())
     version = document.get("format")
     if version != FORMAT_VERSION:
@@ -56,15 +73,36 @@ def load_case(path: str | Path) -> tuple[ReplayCase, str]:
             f"(expected {FORMAT_VERSION})"
         )
     expect = document.get("expect", EXPECT_CLEAN)
+    kind = document.get("kind", "replay")
+    if kind == "overload":
+        from ..admission.stress import load_overload_case
+
+        return load_overload_case(str(path), document), expect
+    if kind != "replay":
+        raise ValueError(
+            f"{path}: unknown case kind {kind!r} (expected one of "
+            f"{CASE_KINDS})"
+        )
     return ReplayCase.from_dict(document), expect
 
 
-def check_case(case: ReplayCase, expect: str) -> None:
+def check_case(
+    case: "ReplayCase | OverloadRegression", expect: str
+) -> None:
     """Replay *case* and assert the recorded expectation.
 
     Raises ``AssertionError`` with a triage-friendly message when the
     replayed behaviour diverges from the expectation.
     """
+    if not isinstance(case, ReplayCase):
+        # Non-replay kinds carry their own checker returning an
+        # expectation string ("clean" or "violation:<what> <detail>").
+        verdict = case.check()
+        assert verdict == expect, (
+            f"overload regression case diverged: expected {expect!r}, "
+            f"got {verdict!r}"
+        )
+        return
     outcome = replay(case)
     if expect == EXPECT_CLEAN:
         assert outcome.violation is None, (

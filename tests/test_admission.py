@@ -1,0 +1,354 @@
+"""Unit tests for repro.admission: the circuit breaker state machine,
+admission policies (fixed MPL + AIMD), the admission controller, the
+deadline escalation ladder, the starvation watchdog, and the SHED
+terminal state."""
+
+import pytest
+
+from repro import Database, Scheduler, TransactionProgram, ops
+from repro.admission import (
+    AdmissionController,
+    AimdPolicy,
+    BreakerState,
+    CircuitBreaker,
+    DeadlineEnforcer,
+    FixedMplPolicy,
+    StarvationWatchdog,
+    available_admission_policies,
+    make_admission_policy,
+)
+from repro.admission.policies import AdmissionSnapshot
+from repro.core.metrics import DEADLINE_EXCEEDED
+from repro.core.scheduler import StepOutcome
+from repro.core.transaction import TxnStatus
+from repro.errors import LivelockDetected, SimulationError
+
+
+def snap(step, rollbacks=0, commits=0, in_flight=0, queued=0, shed=0):
+    return AdmissionSnapshot(
+        step=step, in_flight=in_flight, queued=queued,
+        commits=commits, rollbacks=rollbacks, shed=shed,
+    )
+
+
+def lock_program(txn_id, *entities):
+    operations = []
+    for entity in entities:
+        operations.append(ops.lock_exclusive(entity))
+        operations.append(
+            ops.write(entity, ops.entity(entity) + ops.const(1))
+        )
+    return TransactionProgram(txn_id, operations)
+
+
+class TestCircuitBreaker:
+    def test_closed_until_threshold(self):
+        b = CircuitBreaker(failure_threshold=3, window=10, cooldown=5)
+        assert b.record_failure(0) is False
+        assert b.record_failure(1) is False
+        assert b.state is BreakerState.CLOSED
+        assert b.record_failure(2) is True
+        assert b.state is BreakerState.OPEN
+        assert b.opened_count == 1
+
+    def test_open_rejects_until_cooldown(self):
+        b = CircuitBreaker(failure_threshold=1, window=10, cooldown=5)
+        b.record_failure(0)
+        assert not b.allow(1)
+        assert not b.allow(4)
+        assert b.reopen_at() == 5
+        # Cool-down over: the next request is a half-open probe.
+        assert b.allow(5)
+        assert b.state is BreakerState.HALF_OPEN
+
+    def test_half_open_success_closes(self):
+        b = CircuitBreaker(failure_threshold=1, window=10, cooldown=5)
+        b.record_failure(0)
+        assert b.allow(5)
+        b.record_success(5)
+        assert b.state is BreakerState.CLOSED
+        # Failure history was cleared; one new failure re-trips (threshold 1).
+        assert b.record_failure(6) is True
+
+    def test_half_open_failure_reopens(self):
+        b = CircuitBreaker(failure_threshold=1, window=10, cooldown=5)
+        b.record_failure(0)
+        assert b.allow(5)
+        assert b.record_failure(5) is True
+        assert b.state is BreakerState.OPEN
+        assert b.reopen_at() == 10
+        assert b.opened_count == 2
+
+    def test_half_open_probe_budget(self):
+        b = CircuitBreaker(
+            failure_threshold=1, window=10, cooldown=5, half_open_probes=1
+        )
+        b.record_failure(0)
+        assert b.allow(5)       # the single probe
+        assert not b.allow(5)   # second concurrent request is rejected
+
+    def test_sliding_window_forgets_old_failures(self):
+        b = CircuitBreaker(failure_threshold=2, window=5, cooldown=5)
+        b.record_failure(0)
+        # 10 is past the window, so the failure at 0 no longer counts.
+        assert b.record_failure(10) is False
+        assert b.state is BreakerState.CLOSED
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(window=0)
+
+
+class TestAdmissionPolicies:
+    def test_registry(self):
+        assert available_admission_policies() == ("fixed-mpl", "aimd")
+        assert isinstance(make_admission_policy("fixed-mpl"), FixedMplPolicy)
+        assert isinstance(make_admission_policy("aimd"), AimdPolicy)
+        with pytest.raises(ValueError):
+            make_admission_policy("nope")
+
+    def test_fixed_mpl_constant(self):
+        p = FixedMplPolicy(mpl=4)
+        assert p.capacity(snap(0)) == 4
+        assert p.capacity(snap(10_000, rollbacks=500)) == 4
+        with pytest.raises(ValueError):
+            FixedMplPolicy(mpl=0)
+
+    def test_aimd_halves_on_rollback_storm(self):
+        p = AimdPolicy(initial=8, window_steps=10, rollback_threshold=0.5,
+                       probe_boost=0.0)
+        assert p.capacity(snap(0)) == 8          # window not yet elapsed
+        assert p.capacity(snap(10, rollbacks=9, commits=1)) == 4
+        assert p.capacity(snap(20, rollbacks=18, commits=2)) == 2
+        assert p.capacity(snap(30, rollbacks=27, commits=3)) == 1
+        # Floored at min_window.
+        assert p.capacity(snap(40, rollbacks=36, commits=4)) == 1
+
+    def test_aimd_grows_when_healthy(self):
+        p = AimdPolicy(initial=2, max_window=4, window_steps=10,
+                       probe_boost=0.0)
+        assert p.capacity(snap(10, commits=5)) == 3
+        assert p.capacity(snap(20, commits=10)) == 4
+        # Capped at max_window.
+        assert p.capacity(snap(30, commits=15)) == 4
+        assert p.history == [(10, 3), (20, 4), (30, 4)]
+
+    def test_aimd_deterministic_per_seed(self):
+        feed = [snap(10 * i, commits=5 * i) for i in range(1, 20)]
+        trajectories = []
+        for _ in range(2):
+            p = AimdPolicy(initial=2, max_window=64, window_steps=10,
+                           probe_boost=0.5, seed=42)
+            for s in feed:
+                p.capacity(s)
+            trajectories.append(list(p.history))
+        assert trajectories[0] == trajectories[1]
+
+    def test_aimd_validation(self):
+        with pytest.raises(ValueError):
+            AimdPolicy(initial=4, min_window=8)
+        with pytest.raises(ValueError):
+            AimdPolicy(rollback_threshold=1.5)
+
+
+class TestAdmissionController:
+    def test_fifo_gating_and_metrics(self):
+        db = Database({"a": 0, "b": 0, "c": 0})
+        scheduler = Scheduler(db)
+        controller = AdmissionController(FixedMplPolicy(mpl=1))
+        for txn_id, entity in (("T1", "a"), ("T2", "b"), ("T3", "c")):
+            controller.submit(lock_program(txn_id, entity))
+        assert controller.pending() == 3
+
+        admitted = controller.tick(scheduler, step=0)
+        assert admitted == ["T1"]               # FIFO, capacity 1
+        assert controller.pending() == 2
+        assert scheduler.metrics.admitted == 1
+        # Peak is observed before draining: the burst of 3 is visible.
+        assert scheduler.metrics.admission_queue_peak == 3
+        assert controller.admitted_at == {"T1": 0}
+
+        scheduler.run_until_quiescent()         # T1 commits
+        assert controller.tick(scheduler, step=5) == ["T2"]
+        assert controller.in_flight(scheduler) == 1
+
+    def test_unlimited_capacity_drains_queue(self):
+        db = Database({"a": 0, "b": 0})
+        scheduler = Scheduler(db)
+        controller = AdmissionController(FixedMplPolicy(mpl=8))
+        controller.submit(lock_program("T1", "a"))
+        controller.submit(lock_program("T2", "b"))
+        assert controller.tick(scheduler, step=0) == ["T1", "T2"]
+        assert controller.pending() == 0
+
+    def test_policy_by_name(self):
+        controller = AdmissionController("aimd")
+        assert isinstance(controller.policy, AimdPolicy)
+
+
+class TestDeadlineLadder:
+    def _blocked_pair(self):
+        """T1 holds ``a``; T2 is blocked requesting it."""
+        db = Database({"a": 0})
+        scheduler = Scheduler(db)
+        scheduler.register(lock_program("T1", "a"))
+        scheduler.register(lock_program("T2", "a"))
+        assert scheduler.step("T1").outcome is StepOutcome.GRANTED
+        assert scheduler.step("T2").outcome is StepOutcome.BLOCKED
+        return scheduler
+
+    def test_ladder_partial_restart_shed(self):
+        scheduler = self._blocked_pair()
+        enforcer = DeadlineEnforcer(deadline_steps=5)
+        enforcer.watch("T2", step=0)
+        assert enforcer.deadline_of("T2") == 5
+
+        # Rung 1: partial self-rollback (here: back to 0 — T2 holds no
+        # locks yet) cancels the wait; the deadline clock resets.
+        enforcer.tick(scheduler, step=5)
+        m = scheduler.metrics
+        assert (m.deadline_expiries, m.deadline_partials) == (1, 1)
+        assert scheduler.transaction("T2").status is TxnStatus.READY
+
+        # Runnable at expiry: extension, not escalation.
+        enforcer.tick(scheduler, step=10)
+        assert m.deadline_expiries == 1
+        assert enforcer.deadline_of("T2") == 15
+
+        # Rung 2: total restart.
+        assert scheduler.step("T2").outcome is StepOutcome.BLOCKED
+        enforcer.tick(scheduler, step=15)
+        assert (m.deadline_expiries, m.deadline_restarts) == (2, 1)
+
+        # Rung 3: shed, with an explicit outcome in metrics.
+        assert scheduler.step("T2").outcome is StepOutcome.BLOCKED
+        enforcer.tick(scheduler, step=20)
+        assert scheduler.transaction("T2").status is TxnStatus.SHED
+        assert m.shed == 1
+        assert m.shed_outcomes["T2"] == DEADLINE_EXCEEDED
+        assert enforcer.deadline_of("T2") is None
+
+    def test_shed_releases_locks_to_waiters(self):
+        scheduler = self._blocked_pair()
+        scheduler.shed("T1")
+        t1 = scheduler.transaction("T1")
+        assert t1.status is TxnStatus.SHED and t1.done
+        assert scheduler.lock_manager.locks_held("T1") == {}
+        # T2's queued request was granted by the shed's release.
+        assert scheduler.step("T2").outcome is StepOutcome.ADVANCED
+        with pytest.raises(SimulationError):
+            scheduler.step("T1")
+        with pytest.raises(SimulationError):
+            scheduler.shed("T1")
+
+    def test_watch_cleanup_on_commit(self):
+        db = Database({"a": 0})
+        scheduler = Scheduler(db)
+        scheduler.register(lock_program("T1", "a"))
+        enforcer = DeadlineEnforcer(deadline_steps=5)
+        enforcer.watch("T1", step=0)
+        scheduler.run_until_quiescent()
+        enforcer.tick(scheduler, step=100)
+        assert enforcer.deadline_of("T1") is None
+        assert scheduler.metrics.deadline_expiries == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeadlineEnforcer(deadline_steps=0)
+
+
+class TestStarvationWatchdog:
+    def _three_holders(self):
+        db = Database({"a": 0, "b": 0, "c": 0})
+        scheduler = Scheduler(db)
+        for txn_id, entity in (("T1", "a"), ("T2", "b"), ("T3", "c")):
+            scheduler.register(lock_program(txn_id, entity))
+            assert scheduler.step(txn_id).outcome is StepOutcome.GRANTED
+        return scheduler
+
+    def test_grants_immunity_at_preemption_limit(self):
+        scheduler = self._three_holders()
+        wd = StarvationWatchdog(preemption_limit=1, no_progress_window=10_000)
+        wd.tick(scheduler, step=0)
+        assert wd.immune is None
+
+        scheduler.force_rollback("T2", 0, requester="T3")
+        wd.tick(scheduler, step=1)
+        assert wd.immune == "T2"
+        assert scheduler.preemption_immune == {"T2"}
+        assert scheduler.metrics.immunity_grants == 1
+        assert wd.preemption_counts == {"T2": 1}
+
+    def test_slot_hands_over_to_elder_starver(self):
+        scheduler = self._three_holders()
+        wd = StarvationWatchdog(preemption_limit=1, no_progress_window=10_000)
+        scheduler.force_rollback("T2", 0, requester="T3")
+        wd.tick(scheduler, step=1)
+        assert wd.immune == "T2"
+        # T1 (elder entry order) starts starving later: the single slot
+        # moves to it — handoffs only ever travel toward the eldest.
+        scheduler.force_rollback("T1", 0, requester="T3")
+        wd.tick(scheduler, step=2)
+        assert wd.immune == "T1"
+        assert scheduler.preemption_immune == {"T1"}
+        assert scheduler.metrics.immunity_grants == 2
+
+    def test_preempting_immune_raises_livelock(self):
+        scheduler = self._three_holders()
+        wd = StarvationWatchdog(preemption_limit=1, no_progress_window=10_000)
+        scheduler.force_rollback("T1", 0, requester="T3")
+        wd.tick(scheduler, step=1)
+        assert wd.immune == "T1"
+        # A rogue policy preempts the immune transaction anyway: the
+        # rollback bound is violated and the watchdog raises with a full
+        # diagnosis instead of letting the run spin.
+        scheduler.force_rollback("T1", 0, requester="T2")
+        with pytest.raises(LivelockDetected) as excinfo:
+            wd.tick(scheduler, step=2)
+        diagnosis = excinfo.value.diagnosis
+        assert diagnosis is not None
+        assert "T1" in diagnosis.immune
+        assert "T1" in diagnosis.describe()
+
+    def test_slot_released_on_commit(self):
+        scheduler = self._three_holders()
+        wd = StarvationWatchdog(preemption_limit=1, no_progress_window=10_000)
+        scheduler.force_rollback("T3", 0, requester="T1")
+        wd.tick(scheduler, step=1)
+        assert wd.immune == "T3"
+        while scheduler.transaction("T3").status is TxnStatus.READY:
+            scheduler.step("T3")
+        wd.tick(scheduler, step=2)
+        assert wd.immune is None
+        assert scheduler.preemption_immune == set()
+
+    def test_no_progress_window_starvation(self):
+        scheduler = self._three_holders()
+        # T1 blocked behind T2's lock on b makes no frontier progress.
+        scheduler.register(lock_program("T4", "b"))
+        assert scheduler.step("T4").outcome is StepOutcome.BLOCKED
+        wd = StarvationWatchdog(preemption_limit=99, no_progress_window=10)
+        wd.tick(scheduler, step=0)
+        wd.tick(scheduler, step=9)
+        assert wd.immune is None
+        wd.tick(scheduler, step=10)
+        # Every live transaction stalled; the eldest gets the slot.
+        assert wd.immune == "T1"
+
+    def test_verdict_shape(self):
+        scheduler = self._three_holders()
+        wd = StarvationWatchdog(preemption_limit=2, no_progress_window=100)
+        scheduler.force_rollback("T2", 0, requester="T3")
+        wd.tick(scheduler, step=1)
+        verdict = wd.verdict(scheduler)
+        assert verdict["max_preemptions"] == 1
+        assert verdict["preemption_limit"] == 2
+        assert verdict["currently_immune"] is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StarvationWatchdog(preemption_limit=0)
+        with pytest.raises(ValueError):
+            StarvationWatchdog(no_progress_window=0)

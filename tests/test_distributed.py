@@ -4,6 +4,8 @@ cross-site rules, timeouts, and end-to-end serializability."""
 import pytest
 
 from repro import TransactionProgram, ops
+from repro.admission import BreakerState
+from repro.core.scheduler import StepOutcome
 from repro.distributed import (
     PROBE,
     WAIT_DIE,
@@ -337,3 +339,132 @@ class TestTimeout:
         result = engine.run()
         assert result.final_state == {"a0": 2, "b1": 2}
         assert result.metrics.commits == 3
+
+
+class TestRetryLadder:
+    """Edge cases of the distributed retry ladder: the escalation
+    boundary, early backoff expiry, and circuit-breaker interaction."""
+
+    def _single_site(self, **kwargs):
+        db = Database({"a": 0, "b": 0})
+        part = explicit_partition(
+            {"a": 0, "b": 0}, {"T1": 0, "T2": 0}
+        )
+        return db, DistributedScheduler(db, part, strategy="mcs", **kwargs)
+
+    def test_escalates_exactly_when_budget_exceeded(self):
+        _, sched = self._single_site(
+            retry_budget=2, backoff_base=1, backoff_cap=4
+        )
+        sched.register(TransactionProgram("T1", [
+            ops.lock_exclusive("a"),
+            ops.lock_exclusive("b"),
+            ops.write("b", ops.entity("b") + ops.const(1)),
+        ]))
+        sched.register(TransactionProgram("T2", [ops.lock_exclusive("a")]))
+        sched.step("T1")
+        sched.step("T1")
+        t1 = sched.transaction("T1")
+        assert t1.lock_count == 2
+
+        # Attempts 1 and 2 sit inside the budget: the partial target
+        # (lock state 2: just before the second lock) is honoured both
+        # times, including the attempt that lands exactly on the boundary
+        # (attempts == retry_budget).
+        for expected_attempts in (1, 2):
+            sched.force_rollback("T1", 2, requester="T2")
+            assert t1.lock_count == 1          # kept lock "a"
+            assert sched.metrics.restart_escalations == 0
+            assert sched._retry_attempts["T1"] == expected_attempts
+            sched.step("T1")                   # re-acquire b
+            assert t1.lock_count == 2
+
+        # Attempt 3 exceeds the budget: the partial rollback escalates to
+        # a total restart and the attempt counter resets.
+        sched.force_rollback("T1", 2, requester="T2")
+        assert t1.lock_count == 0
+        assert sched.metrics.restart_escalations == 1
+        assert sched._retry_attempts["T1"] == 0
+        assert sched.metrics.backoff_stalls == 3
+
+    def test_total_restart_target_never_escalates(self):
+        _, sched = self._single_site(retry_budget=1, backoff_base=1)
+        sched.register(TransactionProgram("T1", [
+            ops.lock_exclusive("a"),
+            ops.write("a", ops.entity("a") + ops.const(1)),
+        ]))
+        sched.step("T1")
+        for _ in range(3):                     # already total: no escalation
+            sched.force_rollback("T1", 0, requester="T2")
+            sched.step("T1")
+        assert sched.metrics.restart_escalations == 0
+
+    def test_backoff_ends_early_when_nothing_else_runnable(self):
+        _, sched = self._single_site(backoff_base=8, backoff_cap=64)
+        sched.register(TransactionProgram("T1", [
+            ops.lock_exclusive("a"),
+            ops.write("a", ops.entity("a") + ops.const(1)),
+        ]))
+        sched.register(TransactionProgram("T2", [
+            ops.lock_exclusive("b"),
+            ops.write("b", ops.entity("b") + ops.const(1)),
+        ]))
+        sched.step("T1")
+        sched.force_rollback("T1", 0, requester="T2")
+        # T1 serves its backoff: while T2 can use the time, T1 yields.
+        assert sched.runnable() == ["T2"]
+        while sched.transaction("T2").status.name == "READY":
+            sched.step("T2")
+        assert sched.metrics.commits == 1
+        # T2 is done and the backoff has not expired (clock never moved),
+        # yet T1 becomes runnable again — stalling would idle the system.
+        assert sched._stalled_until["T1"] > 0
+        assert sched.runnable() == ["T1"]
+
+    def test_breaker_rejection_spares_retry_budget(self):
+        db = Database({"a": 0, "b": 0, "c": 0})
+        part = explicit_partition(
+            {"a": 0, "c": 0, "b": 1}, {"T1": 0, "T2": 0, "T3": 1}
+        )
+        sched = DistributedScheduler(
+            db, part, breaker_threshold=1, breaker_window=10,
+            breaker_cooldown=5,
+        )
+        sched.register(TransactionProgram("T1", [
+            ops.lock_exclusive("a"),
+            ops.write("a", ops.entity("a") + ops.const(1)),
+            ops.assign("pad", ops.const(0)),
+        ]))
+        sched.register(TransactionProgram("T2", [ops.lock_exclusive("a")]))
+        sched.register(TransactionProgram("T3", [
+            ops.lock_exclusive("b"),
+            ops.lock_exclusive("c"),
+            ops.write("c", ops.entity("c") + ops.const(1)),
+        ]))
+        assert sched.step("T1").outcome is StepOutcome.GRANTED
+        # T2's denied request trips site 0's breaker (threshold 1).
+        assert sched.step("T2").outcome is StepOutcome.BLOCKED
+        assert sched.metrics.breaker_opens == 1
+        site0 = part.site_of_entity("a")
+        assert sched.breakers[site0].state is BreakerState.OPEN
+
+        # T3 holds b (site 1) and then asks site 0 for the *free* entity
+        # c: the open breaker rejects it outright.  Degradation costs T3 a
+        # total restart and a stall until the breaker half-opens, but no
+        # retry budget — the site is at fault, not the transaction.
+        assert sched.step("T3").outcome is StepOutcome.GRANTED
+        result = sched.step("T3")
+        assert result.outcome is StepOutcome.BLOCKED
+        t3 = sched.transaction("T3")
+        assert t3.lock_count == 0                   # restarted
+        assert sched.metrics.breaker_rejections == 1
+        assert "T3" not in sched._retry_attempts    # budget untouched
+        assert sched._stalled_until["T3"] == sched.breakers[site0].reopen_at()
+
+        # After the cooldown the next request is the half-open probe; its
+        # success closes the breaker and the site is healthy again.
+        for step in range(6):
+            sched.on_engine_step(step)
+        assert sched.step("T3").outcome is StepOutcome.GRANTED  # b again
+        assert sched.step("T3").outcome is StepOutcome.GRANTED  # c probes
+        assert sched.breakers[site0].state is BreakerState.CLOSED

@@ -8,6 +8,7 @@ from repro.core.scheduler import StepOutcome
 from repro.core.transaction import TxnStatus
 from repro.errors import (
     ConsistencyViolation,
+    QuiescenceTimeout,
     SimulationError,
     UnknownTransactionError,
 )
@@ -256,5 +257,12 @@ class TestRunUntilQuiescent:
     def test_step_budget_enforced(self, db):
         s = Scheduler(db)
         s.register(increment("T1", "a"))
-        with pytest.raises(SimulationError):
+        with pytest.raises(QuiescenceTimeout) as excinfo:
             s.run_until_quiescent(max_steps=1)
+        # The timeout carries a structured diagnosis: who was runnable,
+        # who was blocked, and the waits-for graph at expiry.
+        diagnosis = excinfo.value.diagnosis
+        assert diagnosis is not None
+        assert "T1" in diagnosis.runnable
+        assert diagnosis.blocked == []
+        assert "T1" in diagnosis.describe()
