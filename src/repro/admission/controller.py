@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING
 
+from ..observability.events import EventKind
 from .policies import AdmissionPolicy, AdmissionSnapshot, make_admission_policy
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -37,6 +38,8 @@ class AdmissionController:
         self._queue: deque["TransactionProgram"] = deque()
         #: txn_id -> step at which the transaction was admitted.
         self.admitted_at: dict[str, int] = {}
+        #: Policy window-history entries already published to the bus.
+        self._history_seen = 0
 
     def pending(self) -> int:
         """Programs queued but not yet admitted."""
@@ -81,6 +84,19 @@ class AdmissionController:
             program = self._queue.popleft()
             scheduler.register(program)
             self.admitted_at[program.txn_id] = step
-            scheduler.metrics.admitted += 1
+            scheduler.metrics.bump("admitted")
+            if scheduler.bus:
+                scheduler.bus.publish(
+                    EventKind.ADMISSION_ADMIT,
+                    program.txn_id,
+                    queued_behind=len(self._queue),
+                )
             admitted.append(program.txn_id)
+        history = getattr(self.policy, "history", None)
+        if scheduler.bus and history is not None:
+            for at, window in history[self._history_seen:]:
+                scheduler.bus.publish(
+                    EventKind.ADMISSION_WINDOW, window=window, at=at
+                )
+            self._history_seen = len(history)
         return admitted

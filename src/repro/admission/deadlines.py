@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from ..core.transaction import TxnStatus
+from ..observability.events import EventKind
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.scheduler import Scheduler
@@ -73,8 +74,15 @@ class DeadlineEnforcer:
                 # another period instead of an escalation.
                 self._deadline[txn_id] = step + self.deadline_steps
                 continue
-            scheduler.metrics.deadline_expiries += 1
+            scheduler.metrics.bump("deadline_expiries")
             rung = self._rung[txn_id] = self._rung[txn_id] + 1
+            if scheduler.bus:
+                scheduler.bus.publish(
+                    EventKind.DEADLINE_RUNG,
+                    txn_id,
+                    rung=rung,
+                    action={1: "partial", 2: "restart"}.get(rung, "shed"),
+                )
             if rung == 1:
                 # Cancel the pending wait and free the most recent lock.
                 ideal = max(0, txn.lock_count - 1)
@@ -82,13 +90,13 @@ class DeadlineEnforcer:
                 scheduler.force_rollback(
                     txn_id, target, requester=txn_id, ideal_ordinal=ideal
                 )
-                scheduler.metrics.deadline_partials += 1
+                scheduler.metrics.bump("deadline_partials")
                 self._deadline[txn_id] = step + self.deadline_steps
             elif rung == 2:
                 scheduler.force_rollback(
                     txn_id, 0, requester=txn_id, ideal_ordinal=0
                 )
-                scheduler.metrics.deadline_restarts += 1
+                scheduler.metrics.bump("deadline_restarts")
                 self._deadline[txn_id] = step + self.deadline_steps
             else:
                 scheduler.shed(txn_id)

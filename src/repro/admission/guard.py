@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from ..observability.events import EventKind
 from .controller import AdmissionController
 from .deadlines import DeadlineEnforcer
 from .watchdog import StarvationWatchdog
@@ -49,11 +50,21 @@ class OverloadGuard:
         Without a controller the program registers immediately (and still
         gets a deadline, when a deadline enforcer is configured).
         """
+        if self.scheduler.bus:
+            self.scheduler.bus.publish(
+                EventKind.ADMISSION_SUBMIT,
+                program.txn_id,
+                gated=self.controller is not None,
+            )
         if self.controller is not None:
             self.controller.submit(program)
             return
         self.scheduler.register(program)
-        self.scheduler.metrics.admitted += 1
+        self.scheduler.metrics.bump("admitted")
+        if self.scheduler.bus:
+            self.scheduler.bus.publish(
+                EventKind.ADMISSION_ADMIT, program.txn_id, immediate=True
+            )
         if self.deadlines is not None:
             self.deadlines.watch(program.txn_id, step)
 

@@ -23,6 +23,7 @@ import hashlib
 import json
 import math
 from dataclasses import dataclass, field
+from typing import Callable
 
 from ..core.scheduler import Scheduler, StepOutcome
 from ..simulation.engine import SimulationEngine, SimulationResult
@@ -203,9 +204,16 @@ def build_guard(config: OverloadConfig, scheduler: Scheduler, seed: int) -> (
 
 
 def overload_run(
-    config: OverloadConfig, seed: int = 0
+    config: OverloadConfig,
+    seed: int = 0,
+    instrument: Callable[[SimulationEngine], None] | None = None,
 ) -> tuple[OverloadReport, SimulationResult]:
-    """One seeded stress run; returns the report and the raw result."""
+    """One seeded stress run; returns the report and the raw result.
+
+    ``instrument`` (if given) is called with the built engine before any
+    arrival is scheduled — the hook the observability recorder uses to
+    install its event bus on the scheduler.
+    """
     workload = WorkloadConfig(
         n_transactions=config.n_transactions,
         n_entities=config.n_entities,
@@ -223,6 +231,8 @@ def overload_run(
         max_steps=config.max_steps,
         overload=guard,
     )
+    if instrument is not None:
+        instrument(engine)
     arrival_steps: dict[str, int] = {}
     for index, program in enumerate(programs):
         arrival = index * config.interarrival

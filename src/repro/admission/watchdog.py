@@ -31,6 +31,7 @@ from typing import TYPE_CHECKING
 
 from ..core.diagnosis import diagnose
 from ..errors import LivelockDetected
+from ..observability.events import EventKind
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.scheduler import Scheduler
@@ -134,6 +135,10 @@ class StarvationWatchdog:
             holder = scheduler.transactions.get(self._current_immune)
             if holder is None or holder.done:
                 scheduler.preemption_immune.discard(self._current_immune)
+                if scheduler.bus:
+                    scheduler.bus.publish(
+                        EventKind.IMMUNITY_RELEASE, self._current_immune
+                    )
                 self._current_immune = None
         starving = self._starving(scheduler, step)
         if not starving:
@@ -155,9 +160,22 @@ class StarvationWatchdog:
             # over: entry order is time-invariant, so every handoff moves
             # toward the eldest and the chain is finite.
             scheduler.preemption_immune.discard(self._current_immune)
+            if scheduler.bus:
+                scheduler.bus.publish(
+                    EventKind.IMMUNITY_HANDOFF,
+                    eldest,
+                    previous=self._current_immune,
+                )
         self._current_immune = eldest
         scheduler.preemption_immune.add(eldest)
-        scheduler.metrics.immunity_grants += 1
+        scheduler.metrics.bump("immunity_grants")
+        if scheduler.bus:
+            scheduler.bus.publish(
+                EventKind.IMMUNITY_GRANT,
+                eldest,
+                preemptions=self.preemption_counts.get(eldest, 0),
+                starving=starving,
+            )
 
     @property
     def immune(self) -> str | None:

@@ -106,7 +106,7 @@ class PreclaimScheduler(Scheduler):
                         f"{entity!r} despite availability check"
                     )
                 record.granted = True
-                self.metrics.locks_granted += 1
+                self.metrics.bump("locks_granted")
                 self.strategy.on_lock_granted(
                     txn, entity, mode, self.database[entity], record.ordinal
                 )
@@ -119,12 +119,12 @@ class PreclaimScheduler(Scheduler):
             self._try_admissions()
             if txn_id not in self._admitted:
                 txn.status = TxnStatus.BLOCKED
-                self.metrics.blocks += 1
+                self.metrics.bump("blocks")
                 return StepResult(txn_id, StepOutcome.BLOCKED)
         op = txn.current_operation()
         if isinstance(op, Lock):
             # Already held from admission: the request is a no-op.
-            self.metrics.ops_executed += 1
+            self.metrics.bump("ops_executed")
             txn.ops_executed_total += 1
             txn.pc += 1
             return StepResult(txn_id, StepOutcome.GRANTED)

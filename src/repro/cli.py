@@ -28,13 +28,23 @@ Commands
     (see ``docs/RESILIENCE.md``).
 ``lint``
     The repo's own static analysis: determinism / lock-discipline /
-    registration rules (RR001–RR004) plus ``--predict``, which builds a
+    registration rules (RR001–RR005) plus ``--predict``, which builds a
     lock-order graph from each recorded regression trace and reports
     deadlocks reachable in *alternate* interleavings, cross-validated
     by engine replay (see ``docs/STATIC_ANALYSIS.md``).
+``trace``
+    Record a named scenario (or a seeded synthetic run) with the
+    observability bus attached and export the event stream as JSONL,
+    Chrome ``trace_event`` JSON, or a human-readable summary;
+    ``--smoke`` double-runs the scenario and gates on byte-identical
+    exports (see ``docs/OBSERVABILITY.md``).
+``top``
+    The operator dashboard for a recorded scenario: hottest entities,
+    longest-blocked transactions, rollback victims, and the state of the
+    admission / watchdog / breaker machinery as of a step.
 
-``fuzz``, ``chaos``, ``overload`` and ``lint`` exit non-zero when
-anything fires, so CI can gate on them directly.
+``fuzz``, ``chaos``, ``overload``, ``lint`` and ``trace --smoke`` exit
+non-zero when anything fires, so CI can gate on them directly.
 """
 
 from __future__ import annotations
@@ -472,6 +482,95 @@ def cmd_lint(args) -> int:
     return exit_code
 
 
+def cmd_trace(args) -> int:
+    import json
+    from pathlib import Path
+
+    from .observability.export import (
+        fingerprint,
+        graph_snapshots,
+        to_chrome,
+        to_jsonl,
+    )
+    from .observability.scenarios import record_scenario
+    from .observability.spans import build_spans, validate_spans
+    from .observability.timeseries import build_timeseries
+
+    if args.smoke:
+        # CI gate: record the scenario twice from the same seed and
+        # require byte-identical JSONL plus a well-formed span timeline.
+        first, _ = record_scenario(
+            args.scenario, seed=args.seed, sample_every=args.sample_every
+        )
+        second, _ = record_scenario(
+            args.scenario, seed=args.seed, sample_every=args.sample_every
+        )
+        identical = to_jsonl(first.events) == to_jsonl(second.events)
+        errors = validate_spans(build_spans(first.events))
+        print(f"scenario             {args.scenario}")
+        print(f"seed                 {args.seed}")
+        print(f"events               {len(first.events)}")
+        print(f"deterministic        {identical}")
+        print(f"span errors          {len(errors)}")
+        for error in errors[:5]:
+            print(f"  {error}")
+        print(f"fingerprint          {fingerprint(first.events)}")
+        return 0 if identical and not errors else 1
+
+    recorder, context = record_scenario(
+        args.scenario, seed=args.seed, sample_every=args.sample_every
+    )
+    events = recorder.events
+    if args.format == "jsonl":
+        payload = to_jsonl(events)
+    elif args.format == "chrome":
+        payload = (
+            json.dumps(to_chrome(events), indent=2, sort_keys=True) + "\n"
+        )
+    else:
+        spans = build_spans(events)
+        series = build_timeseries(events)
+        lines = [f"scenario             {args.scenario}"]
+        for key, value in context.items():
+            if key in ("scenario", "metrics"):
+                continue
+            lines.append(f"{key:<21}{value}")
+        lines += [
+            f"events               {len(events)}",
+            f"spans                {len(spans)}",
+            f"graph snapshots      {len(graph_snapshots(events))}",
+            f"block p50/p99        "
+            f"{series.p50_block}/{series.p99_block} steps",
+            f"peak active/blocked  "
+            f"{series.peak('active')}/{series.peak('blocked')}",
+            f"fingerprint          {fingerprint(events)}",
+        ]
+        payload = "\n".join(lines) + "\n"
+    if args.out:
+        Path(args.out).write_text(payload)
+        print(f"wrote {args.out} ({len(events)} events)")
+    else:
+        sys.stdout.write(payload)
+    return 0
+
+
+def cmd_top(args) -> int:
+    import json
+
+    from .observability.scenarios import record_scenario
+    from .observability.top import build_top, render_top
+
+    recorder, _context = record_scenario(
+        args.scenario, seed=args.seed, sample_every=args.sample_every
+    )
+    report = build_top(recorder.events, at=args.at, limit=args.limit)
+    if args.json:
+        print(json.dumps(report.to_obj(), indent=2, sort_keys=True))
+    else:
+        print(render_top(report))
+    return 0
+
+
 def cmd_figures(_args) -> int:
     print("Figure 1 — exclusive-lock deadlock, cost-optimal victim")
     engine, result = drive_figure1(policy="min-cost")
@@ -712,6 +811,57 @@ def build_parser() -> argparse.ArgumentParser:
                         default="ordered-min-cost")
     p_over.add_argument("--max-steps", type=int, default=200_000)
     p_over.set_defaults(fn=cmd_overload)
+
+    from .observability.scenarios import SCENARIOS
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="record a scenario and export its event trace "
+             "(see docs/OBSERVABILITY.md)",
+        epilog="scenarios: " + ", ".join(SCENARIOS),
+    )
+    p_trace.add_argument("scenario", nargs="?", default="run",
+                         choices=SCENARIOS,
+                         help="named scenario to record (default: a "
+                              "seeded synthetic run)")
+    p_trace.add_argument("--seed", type=int, default=0,
+                         help="scenario seed (same seed, byte-identical "
+                              "export)")
+    p_trace.add_argument("--format",
+                         choices=("jsonl", "chrome", "summary"),
+                         default="jsonl",
+                         help="jsonl event log, Chrome trace_event JSON, "
+                              "or a human-readable summary")
+    p_trace.add_argument("--out", default=None, metavar="FILE",
+                         help="write the export to FILE instead of "
+                              "stdout")
+    p_trace.add_argument("--sample-every", type=int, default=25,
+                         help="steps between waits-for graph snapshots "
+                              "(0 = no snapshots)")
+    p_trace.add_argument("--smoke", action="store_true",
+                         help="CI gate: double-run the scenario and "
+                              "fail unless exports are byte-identical "
+                              "and the span timeline validates")
+    p_trace.set_defaults(fn=cmd_trace)
+
+    p_top = sub.add_parser(
+        "top",
+        help="operator dashboard computed from a recorded scenario "
+             "(see docs/OBSERVABILITY.md)",
+        epilog="scenarios: " + ", ".join(SCENARIOS),
+    )
+    p_top.add_argument("scenario", nargs="?", default="run",
+                       choices=SCENARIOS)
+    p_top.add_argument("--seed", type=int, default=0)
+    p_top.add_argument("--at", type=int, default=None,
+                       help="dashboard as of this step (default: end "
+                            "of run)")
+    p_top.add_argument("--limit", type=int, default=5,
+                       help="rows per ranking table")
+    p_top.add_argument("--sample-every", type=int, default=25)
+    p_top.add_argument("--json", action="store_true",
+                       help="machine-readable report on stdout")
+    p_top.set_defaults(fn=cmd_top)
 
     p_lint = sub.add_parser(
         "lint",

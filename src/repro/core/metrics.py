@@ -61,6 +61,20 @@ class Metrics:
     deadlock_entities: Counter = field(default_factory=Counter)
     shed_outcomes: dict[str, str] = field(default_factory=dict)
 
+    def bump(self, counter: str, by: int = 1) -> None:
+        """Increment a named counter — the sanctioned mutation path.
+
+        Subsystems must not assign to counter attributes directly
+        (staticcheck rule RR005 enforces this): funnelling every
+        increment through one call site keeps the counters auditable and
+        lets the observability layer trust that published events and
+        counter moves cannot drift apart silently.
+        """
+        current = getattr(self, counter)
+        if not isinstance(current, int):
+            raise AttributeError(f"{counter!r} is not an integer counter")
+        setattr(self, counter, current + by)
+
     def record_rollback(
         self,
         victim: str,
@@ -141,8 +155,9 @@ class Metrics:
                 pairs.add(tuple(sorted((requester, victim))))
         return pairs
 
-    def summary(self) -> dict[str, float]:
-        """Flat dict of headline numbers (benchmark reporting)."""
+    def summary(self) -> dict[str, object]:
+        """Headline numbers plus the contention collections, all
+        JSON-serializable (benchmark reporting and the trace exporters)."""
         return {
             "ops_executed": self.ops_executed,
             "locks_granted": self.locks_granted,
@@ -169,4 +184,14 @@ class Metrics:
             "immunity_grants": self.immunity_grants,
             "breaker_opens": self.breaker_opens,
             "breaker_rejections": self.breaker_rejections,
+            "rollbacks_by_victim": {
+                victim: count
+                for victim, count in sorted(self.rollbacks_by_victim.items())
+            },
+            "hottest_entities": [
+                [entity, count] for entity, count in self.hottest_entities()
+            ],
+            "mutual_preemption_pairs": [
+                list(pair) for pair in sorted(self.mutual_preemption_pairs())
+            ],
         }

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from ..core.detection import Deadlock
 from ..core.rollback import RollbackStrategy
+from ..observability.events import EventKind
 from ..core.scheduler import Scheduler, StepOutcome, StepResult
 from ..core.victim import VictimPolicy
 from ..graphs.concurrency import ConcurrencyGraph
@@ -90,8 +91,15 @@ class PeriodicDetectionScheduler(Scheduler):
             deadlock = Deadlock(
                 requester=nominal, cycles=cycles, graph=graph
             )
-            self.metrics.deadlocks += 1
+            self.metrics.bump("deadlocks")
             self.sweep_deadlocks += 1
+            if self.bus:
+                self.bus.publish(
+                    EventKind.DEADLOCK,
+                    nominal,
+                    cycles=[list(c) for c in cycles],
+                    swept=True,
+                )
             for txn_id in deadlock.members:
                 blocked_at = self._blocked_at.get(txn_id)
                 if blocked_at is not None:

@@ -31,6 +31,7 @@ from ..errors import (
 from ..locking.manager import LockManager
 from ..locking.modes import LockMode
 from ..locking.table import Grant
+from ..observability.events import NULL_BUS, EventBus, EventKind
 from ..storage.database import Database
 from .detection import Deadlock, DeadlockDetector
 from .diagnosis import diagnose
@@ -130,6 +131,13 @@ class Scheduler:
         self.lock_manager = LockManager()
         self.detector = DeadlockDetector(self.lock_manager.table)
         self.metrics = Metrics()
+        #: Observability event bus.  Defaults to the shared no-op
+        #: :data:`~repro.observability.events.NULL_BUS` (falsy), so hot
+        #: paths guard payload construction with ``if self.bus:`` and an
+        #: uninstrumented run pays one branch per potential event.  A
+        #: :class:`~repro.observability.recorder.RunRecorder` installs a
+        #: live bus here.
+        self.bus: EventBus = NULL_BUS
         self.transactions: dict[TxnId, Transaction] = {}
         self._check_consistency = check_consistency
         self._entry_counter = 0
@@ -159,6 +167,13 @@ class Scheduler:
         txn = Transaction(program=program, entry_order=self._entry_counter)
         self.transactions[program.txn_id] = txn
         self.strategy.begin(txn)
+        if self.bus:
+            self.bus.publish(
+                EventKind.TXN_ADMIT,
+                txn.txn_id,
+                entry_order=txn.entry_order,
+                operations=len(program.operations),
+            )
         return txn
 
     def transaction(self, txn_id: TxnId) -> Transaction:
@@ -195,7 +210,7 @@ class Scheduler:
         if op is None:
             self._commit(txn)
             return StepResult(txn_id, StepOutcome.COMMITTED)
-        self.metrics.ops_executed += 1
+        self.metrics.bump("ops_executed")
         txn.ops_executed_total += 1
         if isinstance(op, Lock):
             result = self._execute_lock(txn, op)
@@ -279,15 +294,29 @@ class Scheduler:
             return StepResult(txn.txn_id, StepOutcome.GRANTED)
         txn.status = TxnStatus.BLOCKED
         self.metrics.record_block(op.entity_name)
+        if self.bus:
+            self.bus.publish(
+                EventKind.LOCK_BLOCK,
+                txn.txn_id,
+                entity=op.entity_name,
+                mode=str(op.mode),
+            )
         deadlock = self._detect(txn.txn_id)
         if deadlock is None:
             return StepResult(txn.txn_id, StepOutcome.BLOCKED)
-        self.metrics.deadlocks += 1
+        self.metrics.bump("deadlocks")
         self.metrics.record_deadlock_arcs(
             arc.entity
             for cycle in deadlock.cycles
             for arc in deadlock.graph.cycle_arcs(cycle)
         )
+        if self.bus:
+            self.bus.publish(
+                EventKind.DEADLOCK,
+                txn.txn_id,
+                requester=deadlock.requester,
+                cycles=[list(cycle) for cycle in deadlock.cycles],
+            )
         actions = self._resolve(deadlock)
         if len(deadlock.cycles) >= self.detector.cycle_limit:
             # The enumeration was truncated: the victim cut covered only
@@ -310,7 +339,14 @@ class Scheduler:
                 f"its pending request"
             )
         record.granted = True
-        self.metrics.locks_granted += 1
+        self.metrics.bump("locks_granted")
+        if self.bus:
+            self.bus.publish(
+                EventKind.LOCK_GRANT,
+                grant.txn,
+                entity=grant.entity,
+                mode=str(grant.mode),
+            )
         if self.wal is not None:
             self.wal.log_grant(grant.txn, grant.entity, str(grant.mode))
         self.strategy.on_lock_granted(
@@ -353,7 +389,13 @@ class Scheduler:
         grants = self.lock_manager.finish(txn.txn_id)
         self.strategy.on_finish(txn)
         txn.status = TxnStatus.COMMITTED
-        self.metrics.commits += 1
+        self.metrics.bump("commits")
+        if self.bus:
+            self.bus.publish(
+                EventKind.TXN_COMMIT,
+                txn.txn_id,
+                ops=txn.ops_executed_total,
+            )
         if self.wal is not None:
             self.wal.log_commit(txn.txn_id)
         for grant in grants:
@@ -401,6 +443,22 @@ class Scheduler:
             immune=frozenset(self.preemption_immune),
         )
         actions = self.policy.select(ctx)
+        if self.bus:
+            # Candidate costs: every action the policy evaluated while
+            # deciding, not just the chosen cover — the "why this victim"
+            # record Figure 1's cost comparison is about.
+            self.bus.publish(
+                EventKind.VICTIM_SELECT,
+                deadlock.requester,
+                candidates=[
+                    [a.txn_id, a.target_ordinal, a.cost]
+                    for a in ctx.evaluated_actions()
+                ],
+                chosen=[
+                    [a.txn_id, a.target_ordinal, a.cost] for a in actions
+                ],
+                immune=sorted(ctx.immune & set(deadlock.members)),
+            )
         for action in actions:
             self._apply_rollback(action, deadlock)
         return actions
@@ -432,7 +490,15 @@ class Scheduler:
                 cycles=graph.cycles_through(nominal, limit=500),
                 graph=graph,
             )
-            self.metrics.deadlocks += 1
+            self.metrics.bump("deadlocks")
+            if self.bus:
+                self.bus.publish(
+                    EventKind.DEADLOCK,
+                    nominal,
+                    requester=nominal,
+                    cycles=[list(cycle) for cycle in residual.cycles],
+                    residual=True,
+                )
             actions += self._resolve(residual)
 
     def _apply_rollback(
@@ -478,9 +544,11 @@ class Scheduler:
         # (zero under MCS; the whole locked prefix under total restart).
         # Must be computed before the lock records are truncated.
         if ideal > target_ordinal:
-            self.metrics.overshoot_states += txn.lock_state_state_index(
-                ideal
-            ) - txn.lock_state_state_index(target_ordinal)
+            self.metrics.bump(
+                "overshoot_states",
+                by=txn.lock_state_state_index(ideal)
+                - txn.lock_state_state_index(target_ordinal),
+            )
         grants = self.lock_manager.cancel_wait(txn.txn_id)
         grants += self.lock_manager.release_for_rollback(
             txn.txn_id, held_to_release
@@ -488,7 +556,7 @@ class Scheduler:
         try:
             self.strategy.rollback(txn, target_ordinal)
         except StorageFault:
-            self.metrics.storage_faults += 1
+            self.metrics.bump("storage_faults")
             if not self.degrade_on_fault:
                 raise
             # Graceful degradation: the victim's partial-rollback state is
@@ -509,6 +577,16 @@ class Scheduler:
             ideal_ordinal=ideal,
             states_lost=states_lost,
         )
+        if self.bus:
+            self.bus.publish(
+                EventKind.ROLLBACK,
+                txn_id,
+                requester=requester,
+                target=target_ordinal,
+                ideal=ideal,
+                states_lost=states_lost,
+                total=target_ordinal == 0,
+            )
         for grant in grants:
             self._complete_grant(grant)
 
@@ -532,6 +610,10 @@ class Scheduler:
         txn.status = TxnStatus.SHED
         self.preemption_immune.discard(txn_id)
         self.metrics.record_shed(txn_id, reason)
+        if self.bus:
+            self.bus.publish(
+                EventKind.TXN_SHED, txn_id, reason=reason, released=held
+            )
         for grant in grants:
             self._complete_grant(grant)
 
@@ -543,7 +625,9 @@ class Scheduler:
         wholesale and recreated as at transaction start; the caller then
         rewinds the transaction to lock state 0.
         """
-        self.metrics.degraded_restarts += 1
+        self.metrics.bump("degraded_restarts")
+        if self.bus:
+            self.bus.publish(EventKind.DEGRADE_RESTART, txn.txn_id)
         remaining = sorted(self.lock_manager.locks_held(txn.txn_id))
         grants = self.lock_manager.release_for_rollback(
             txn.txn_id, remaining

@@ -129,6 +129,15 @@ class VictimContext:
     def cost_of(self, txn_id: TxnId) -> int:
         return self.action_for(txn_id).cost
 
+    def evaluated_actions(self) -> list[RollbackAction]:
+        """Every candidate action this context costed while the policy
+        deliberated, in victim-id order — the observability layer attaches
+        them to VICTIM_SELECT events so a trace shows the costs the
+        decision compared, not just the winner."""
+        return [
+            self._actions[txn_id] for txn_id in sorted(self._actions)
+        ]
+
 
 class VictimPolicy(abc.ABC):
     """Strategy interface for choosing deadlock victims."""

@@ -26,6 +26,8 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable
 
+from ..observability.events import NULL_BUS, EventBus, EventKind
+
 
 class MessageType(enum.Enum):
     """The message vocabulary of the simulated distributed system."""
@@ -88,6 +90,8 @@ class MessageLog:
     duplicated: int = 0
     delayed: int = 0
     _delay_queue: list[Message] = field(default_factory=list)
+    #: Observability bus (the recorder installs the scheduler's live bus).
+    bus: EventBus = NULL_BUS
 
     def send(
         self,
@@ -110,15 +114,30 @@ class MessageLog:
         )
         if action is DeliveryAction.DROP:
             self.dropped += 1
+            self._publish(EventKind.MESSAGE_DROP, message)
             return
         if action is DeliveryAction.DELAY:
             self.delayed += 1
             self._delay_queue.append(message)
+            self._publish(EventKind.MESSAGE_DELAY, message)
             return
         self._deliver(message)
+        self._publish(EventKind.MESSAGE_SEND, message)
         if action is DeliveryAction.DUPLICATE:
             self.duplicated += 1
             self._deliver(message)
+            self._publish(EventKind.MESSAGE_DUPLICATE, message)
+
+    def _publish(self, kind: EventKind, message: Message) -> None:
+        if self.bus:
+            self.bus.publish(
+                kind,
+                message.txn_id,
+                sender=message.sender,
+                receiver=message.receiver,
+                message=str(message.kind),
+                entity=message.entity,
+            )
 
     def _deliver(self, message: Message) -> None:
         self.messages.append(message)

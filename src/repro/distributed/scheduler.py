@@ -35,13 +35,14 @@ from __future__ import annotations
 
 import random
 
-from ..admission.breaker import CircuitBreaker
+from ..admission.breaker import BreakerState, CircuitBreaker
 from ..core.detection import Deadlock
 from ..core.scheduler import Scheduler, StepOutcome, StepResult
 from ..core.transaction import Transaction, TransactionProgram, TxnStatus
 from ..core.operations import Lock
 from ..graphs.concurrency import ConcurrencyGraph
 from ..locking.modes import LockMode
+from ..observability.events import EventKind
 from ..storage.database import Database
 from .network import MessageLog, MessageType
 from .partition import Partition
@@ -194,7 +195,7 @@ class DistributedScheduler(Scheduler):
         attempts = self._retry_attempts.get(txn_id, 0) + 1
         self._retry_attempts[txn_id] = attempts
         if attempts > self.retry_budget and target_ordinal > 0:
-            self.metrics.restart_escalations += 1
+            self.metrics.bump("restart_escalations")
             self._retry_attempts[txn_id] = 0
             target_ordinal = 0
         delay = min(
@@ -202,7 +203,7 @@ class DistributedScheduler(Scheduler):
             self.backoff_base * (2 ** min(attempts - 1, 30)),
         ) + self._backoff_rng.randrange(self.backoff_base)
         self._stalled_until[txn_id] = self._clock + delay
-        self.metrics.backoff_stalls += 1
+        self.metrics.bump("backoff_stalls")
         return target_ordinal
 
     # -- engine hook: clock and timeouts -----------------------------------
@@ -266,8 +267,24 @@ class DistributedScheduler(Scheduler):
             )
         return self.breakers[site]
 
+    def _publish_breaker(
+        self, site: str, breaker: CircuitBreaker, before: BreakerState
+    ) -> None:
+        """Publish a BREAKER_TRANSITION if the last interaction moved the
+        breaker's state machine (transitions happen inside allow /
+        record_success / record_failure, so callers snapshot the state
+        before the call and report here)."""
+        if breaker.state is not before and self.bus:
+            self.bus.publish(
+                EventKind.BREAKER_TRANSITION,
+                site=site,
+                before=str(before),
+                after=str(breaker.state),
+                opened_count=breaker.opened_count,
+            )
+
     def _reject_open_site(
-        self, txn: Transaction, breaker: CircuitBreaker
+        self, txn: Transaction, breaker: CircuitBreaker, site: str
     ) -> StepResult:
         """Degradation path for a request against an OPEN site.
 
@@ -277,7 +294,14 @@ class DistributedScheduler(Scheduler):
         breaker half-opens, so it does not spin re-issuing the request
         against a site that cannot answer.
         """
-        self.metrics.breaker_rejections += 1
+        self.metrics.bump("breaker_rejections")
+        if self.bus:
+            self.bus.publish(
+                EventKind.BREAKER_REJECT,
+                txn.txn_id,
+                site=site,
+                reopen_at=breaker.reopen_at(),
+            )
         if txn.lock_records:
             self._notify_rollback(txn, 0)
             Scheduler.force_rollback(
@@ -293,22 +317,32 @@ class DistributedScheduler(Scheduler):
         home = self.partition.home_of(txn.txn_id)
         owner = self.partition.site_of_entity(op.entity_name)
         breaker = self._breaker_for(owner)
-        if breaker is not None and not breaker.allow(self._clock):
-            return self._reject_open_site(txn, breaker)
+        if breaker is not None:
+            before = breaker.state
+            allowed = breaker.allow(self._clock)
+            self._publish_breaker(owner, breaker, before)
+            if not allowed:
+                return self._reject_open_site(txn, breaker, owner)
         self.message_log.send(
             home, owner, MessageType.LOCK_REQUEST, txn.txn_id, op.entity_name
         )
         result = super()._execute_lock(txn, op)
         if result.outcome is StepOutcome.GRANTED:
             if breaker is not None:
+                before = breaker.state
                 breaker.record_success(self._clock)
+                self._publish_breaker(owner, breaker, before)
             self.message_log.send(
                 owner, home, MessageType.LOCK_GRANT, txn.txn_id,
                 op.entity_name,
             )
             return result
-        if breaker is not None and breaker.record_failure(self._clock):
-            self.metrics.breaker_opens += 1
+        if breaker is not None:
+            before = breaker.state
+            tripped = breaker.record_failure(self._clock)
+            self._publish_breaker(owner, breaker, before)
+            if tripped:
+                self.metrics.bump("breaker_opens")
         self.message_log.send(
             owner, home, MessageType.LOCK_DENIED_WAIT, txn.txn_id,
             op.entity_name,
@@ -476,7 +510,14 @@ class DistributedScheduler(Scheduler):
         # _notify_rollback.
         cycles = graph.cycles_through(initiator, limit=500)
         deadlock = Deadlock(initiator, cycles, graph)
-        self.metrics.deadlocks += 1
+        self.metrics.bump("deadlocks")
+        if self.bus:
+            self.bus.publish(
+                EventKind.DEADLOCK,
+                initiator,
+                cycles=[list(c) for c in cycles],
+                probe=True,
+            )
         ctx_actions = self._resolve(deadlock)
         del ctx_actions
         return True

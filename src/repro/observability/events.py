@@ -1,0 +1,194 @@
+"""The event bus: one deterministically-ordered stream for the whole run.
+
+Every layer of the system — scheduler, victim selection, admission,
+deadlines, watchdog, breakers, distributed messaging, WAL, and the
+simulation engine itself — publishes :class:`Event` records to an
+:class:`EventBus`.  Consumers (the engine's
+:class:`~repro.simulation.trace.Trace`, the
+:class:`~repro.observability.recorder.RunRecorder`, tests) subscribe as
+plain callables.
+
+Two properties the rest of the observability layer depends on:
+
+* **Determinism.**  Events carry only logical time (the engine step and a
+  monotonically increasing sequence number) and JSON-serializable data;
+  no wall clock, no ids, no unordered collections.  Two runs from the
+  same seed publish byte-identical streams (see
+  ``docs/OBSERVABILITY.md`` for the contract).
+* **Zero cost when disabled.**  Schedulers default to :data:`NULL_BUS`,
+  whose :meth:`~NullBus.publish` is a no-op and whose truth value is
+  ``False``, so hot paths guard expensive payload construction with
+  ``if self.bus:`` and pay one branch per potential event.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+
+class EventKind(enum.Enum):
+    """The event taxonomy (see ``docs/OBSERVABILITY.md``).
+
+    Grouped by publishing layer; the string values are what appears in
+    the JSONL export, so they are part of the fingerprint contract.
+    """
+
+    # -- engine -----------------------------------------------------------
+    STEP = "engine.step"
+    SAMPLE = "engine.sample"
+
+    # -- scheduler / locking ----------------------------------------------
+    TXN_ADMIT = "txn.admit"
+    TXN_COMMIT = "txn.commit"
+    TXN_SHED = "txn.shed"
+    LOCK_GRANT = "lock.grant"
+    LOCK_BLOCK = "lock.block"
+    DEADLOCK = "deadlock.detect"
+    VICTIM_SELECT = "victim.select"
+    ROLLBACK = "rollback"
+    DEGRADE_RESTART = "degrade.restart"
+
+    # -- admission / overload ----------------------------------------------
+    ADMISSION_SUBMIT = "admission.submit"
+    ADMISSION_ADMIT = "admission.admit"
+    ADMISSION_WINDOW = "admission.window"
+    DEADLINE_RUNG = "deadline.rung"
+    IMMUNITY_GRANT = "watchdog.immunity-grant"
+    IMMUNITY_HANDOFF = "watchdog.immunity-handoff"
+    IMMUNITY_RELEASE = "watchdog.immunity-release"
+    BREAKER_TRANSITION = "breaker.transition"
+    BREAKER_REJECT = "breaker.reject"
+
+    # -- distributed messaging ---------------------------------------------
+    MESSAGE_SEND = "message.send"
+    MESSAGE_DROP = "message.drop"
+    MESSAGE_DUPLICATE = "message.duplicate"
+    MESSAGE_DELAY = "message.delay"
+
+    # -- durability / chaos ------------------------------------------------
+    WAL_APPEND = "wal.append"
+    WAL_CHECKPOINT = "wal.checkpoint"
+    WAL_RECOVER = "wal.recover"
+    CRASH = "chaos.crash"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One published event.
+
+    ``seq`` is the bus-wide sequence number (total order), ``step`` the
+    logical engine step at publish time, ``txn`` the primary transaction
+    the event concerns (may be empty), and ``data`` the kind-specific
+    payload — JSON-serializable values only, by contract.
+    """
+
+    seq: int
+    step: int
+    kind: EventKind
+    txn: str = ""
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def to_obj(self) -> dict[str, Any]:
+        """The JSON-ready form used by the exporters (stable key set)."""
+        return {
+            "seq": self.seq,
+            "step": self.step,
+            "kind": self.kind.value,
+            "txn": self.txn,
+            "data": self.data,
+        }
+
+
+#: A bus consumer: called synchronously with each published event.
+Sink = Callable[[Event], None]
+
+
+class EventBus:
+    """Deterministically-ordered fan-out of :class:`Event` records.
+
+    The bus holds a logical clock (:attr:`step`) advanced by the driving
+    engine; publishers need not know the time.  Sinks are invoked in
+    subscription order, synchronously, so a consumer always sees events
+    in exactly the order they were published.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.step = 0
+        self._seq = 0
+        self._sinks: list[Sink] = []
+
+    def __bool__(self) -> bool:
+        return self.enabled
+
+    def advance(self, step: int) -> None:
+        """Move the logical clock (monotonic; late advances are ignored)."""
+        if step > self.step:
+            self.step = step
+
+    def subscribe(self, sink: Sink) -> None:
+        if sink not in self._sinks:
+            self._sinks.append(sink)
+
+    def unsubscribe(self, sink: Sink) -> None:
+        if sink in self._sinks:
+            self._sinks.remove(sink)
+
+    def publish(
+        self, kind: EventKind, txn: str = "", **data: Any
+    ) -> Event | None:
+        """Publish one event; returns it (or ``None`` on a null bus)."""
+        event = Event(
+            seq=self._seq, step=self.step, kind=kind, txn=txn, data=data
+        )
+        self._seq += 1
+        for sink in self._sinks:
+            sink(event)
+        return event
+
+
+class NullBus(EventBus):
+    """The disabled bus: publishing is a no-op, truth value is False.
+
+    Instrumented call sites guard payload construction with
+    ``if self.bus:`` so an uninstrumented run pays one branch, not one
+    allocation, per potential event.
+    """
+
+    enabled = False
+
+    def advance(self, step: int) -> None:
+        pass
+
+    def subscribe(self, sink: Sink) -> None:
+        raise ValueError(
+            "cannot subscribe to the null bus; install a real EventBus first"
+        )
+
+    def publish(
+        self, kind: EventKind, txn: str = "", **data: Any
+    ) -> Event | None:
+        return None
+
+
+#: The shared disabled bus every scheduler starts with.
+NULL_BUS = NullBus()
+
+
+def events_of(
+    events: Iterable[Event], *kinds: EventKind, txn: str | None = None
+) -> list[Event]:
+    """Filter helper used throughout the consumers and tests."""
+    wanted = set(kinds)
+    return [
+        event
+        for event in events
+        if (not wanted or event.kind in wanted)
+        and (txn is None or event.txn == txn)
+    ]

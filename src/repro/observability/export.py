@@ -1,0 +1,172 @@
+"""Exporters: JSONL event logs, Chrome trace_event JSON, graph snapshots.
+
+Three output shapes for one event stream:
+
+* :func:`to_jsonl` — one JSON object per line, keys sorted, newline
+  terminated.  :func:`fingerprint` is the SHA-256 of exactly those bytes,
+  so "same seed, byte-identical log" is a single string comparison.
+* :func:`to_chrome` — the ``trace_event`` JSON object format understood
+  by ``chrome://tracing`` and Perfetto: one timeline row per transaction,
+  complete ("X") slices for the span and its blocked / rolling-back
+  intervals, instant ("i") markers for deadlocks, immunity grants,
+  breaker transitions, and crashes.  Timestamps are logical engine steps
+  (the ``ts`` unit is microseconds to a viewer, but only relative layout
+  matters).
+* :func:`graph_snapshots` — the recorder's periodic waits-for SAMPLE
+  events re-rendered as Graphviz DOT via the existing
+  :func:`repro.graphs.render.concurrency_to_dot`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Iterable
+
+from ..graphs.concurrency import ConcurrencyGraph
+from ..graphs.render import concurrency_to_dot
+from .events import Event, EventKind
+from .spans import Span, build_spans
+
+#: Event kinds rendered as instant markers on a Chrome timeline.
+_INSTANT_KINDS = {
+    EventKind.DEADLOCK: "deadlock",
+    EventKind.VICTIM_SELECT: "victim",
+    EventKind.IMMUNITY_GRANT: "immunity-grant",
+    EventKind.IMMUNITY_HANDOFF: "immunity-handoff",
+    EventKind.BREAKER_TRANSITION: "breaker",
+    EventKind.CRASH: "crash",
+    EventKind.DEADLINE_RUNG: "deadline",
+    EventKind.DEGRADE_RESTART: "degrade",
+}
+
+
+def event_lines(events: Iterable[Event]) -> list[str]:
+    """One sorted-keys JSON line per event (the JSONL rows)."""
+    return [
+        json.dumps(event.to_obj(), sort_keys=True, default=str)
+        for event in events
+    ]
+
+
+def to_jsonl(events: Iterable[Event]) -> str:
+    """The canonical JSONL export (newline-terminated when non-empty)."""
+    lines = event_lines(events)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def fingerprint(events: Iterable[Event]) -> str:
+    """SHA-256 over the exact JSONL bytes — the determinism contract."""
+    return hashlib.sha256(to_jsonl(events).encode()).hexdigest()
+
+
+def to_chrome(events: list[Event]) -> dict[str, Any]:
+    """The ``trace_event`` object-format document for chrome://tracing."""
+    spans = build_spans(events)
+    last_step = max((event.step for event in events), default=0)
+    ordered = sorted(
+        spans.values(), key=lambda span: (span.start, span.txn)
+    )
+    tids = {span.txn: index + 1 for index, span in enumerate(ordered)}
+    trace_events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": "repro scheduler"},
+        }
+    ]
+    for span in ordered:
+        tid = tids[span.txn]
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": span.txn},
+            }
+        )
+        end = span.end if span.end is not None else last_step
+        trace_events.append(
+            {
+                "name": f"{span.txn} ({span.outcome})",
+                "cat": "txn",
+                "ph": "X",
+                "ts": span.start,
+                "dur": max(1, end - span.start),
+                "pid": 1,
+                "tid": tid,
+                "args": {"outcome": span.outcome},
+            }
+        )
+        for interval in span.intervals:
+            iv_end = interval.end if interval.end is not None else last_step
+            trace_events.append(
+                {
+                    "name": (
+                        f"blocked on {interval.cause}"
+                        if interval.kind == "blocked"
+                        else f"rolling back (by {interval.cause})"
+                    ),
+                    "cat": interval.kind,
+                    "ph": "X",
+                    "ts": interval.start,
+                    "dur": max(1, iv_end - interval.start),
+                    "pid": 1,
+                    "tid": tid,
+                    "args": {
+                        "cause": interval.cause,
+                        "detail": interval.detail,
+                    },
+                }
+            )
+    for event in events:
+        label = _INSTANT_KINDS.get(event.kind)
+        if label is None:
+            continue
+        trace_events.append(
+            {
+                "name": f"{label}: {event.txn}" if event.txn else label,
+                "cat": "marker",
+                "ph": "i",
+                "ts": event.step,
+                "pid": 1,
+                "tid": tids.get(event.txn, 0),
+                "s": "t" if event.txn in tids else "g",
+                "args": {
+                    str(key): str(value)
+                    for key, value in sorted(event.data.items())
+                },
+            }
+        )
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "logical engine steps"},
+    }
+
+
+def graph_snapshots(events: Iterable[Event]) -> list[tuple[int, str]]:
+    """``(step, dot_source)`` per recorded waits-for SAMPLE snapshot."""
+    snapshots: list[tuple[int, str]] = []
+    for event in events:
+        if event.kind is not EventKind.SAMPLE:
+            continue
+        arcs = event.data.get("arcs")
+        if arcs is None:
+            continue
+        graph = ConcurrencyGraph()
+        for holder, waiter, entity in arcs:
+            graph.add_wait(str(holder), str(waiter), str(entity))
+        snapshots.append(
+            (event.step, concurrency_to_dot(graph, title=f"step_{event.step}"))
+        )
+    return snapshots
+
+
+def spans_summary(spans: dict[str, Span]) -> list[dict[str, Any]]:
+    """JSON-ready span list, ordered by start step (summary exporter)."""
+    ordered = sorted(spans.values(), key=lambda span: (span.start, span.txn))
+    return [span.to_obj() for span in ordered]

@@ -1,0 +1,119 @@
+"""Pinned trace regressions: scenario runs whose span timeline must hold.
+
+A ``kind: "trace"`` case under ``tests/regressions/`` pins one recorded
+scenario — which transactions commit, how many immunity grants fire,
+which mutual-preemption pairs appear — and re-checks the *semantic*
+shape of the span timeline on every run: spans must validate (no
+negative durations, every rollback interval carries a cause), and the
+watchdog's immunity slot must actually protect its holder (no rollback
+of the immune transaction while it holds the slot).
+
+The flagship case pins the paper's Figure 2 livelock broken by the
+starvation watchdog: T2 and T4 preempt each other under unconstrained
+``min-cost`` until an immunity grant ends the exchange and the run
+commits.  If a future change lets the holder be preempted anyway, or
+the run livelocks again, the case fails with a triage-ready message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .events import Event, EventKind
+from .spans import build_spans, validate_spans
+
+
+@dataclass
+class TraceRegression:
+    """A pinned scenario trace; ``check()`` re-runs and re-asserts it."""
+
+    path: str
+    scenario: str
+    seed: int
+    expect_committed: list[str]
+    expect_immunity_grants: int
+    expect_mutual_pairs: list[list[str]]
+
+    def check(self) -> str:
+        """Re-record the scenario; returns ``"clean"`` or a violation."""
+        from .scenarios import record_scenario
+
+        recorder, context = record_scenario(self.scenario, seed=self.seed)
+        events = recorder.events
+        if context.get("livelock"):
+            return (
+                "violation:trace scenario livelocked — the pinned run "
+                "is expected to commit"
+            )
+        committed = sorted(str(txn) for txn in context.get("committed", []))
+        if committed != sorted(self.expect_committed):
+            return (
+                "violation:trace committed set drifted: "
+                f"{committed} != {sorted(self.expect_committed)}"
+            )
+        errors = validate_spans(build_spans(events))
+        if errors:
+            return f"violation:trace invalid span timeline: {errors[0]}"
+        grants = [
+            event for event in events if event.kind is EventKind.IMMUNITY_GRANT
+        ]
+        if len(grants) != self.expect_immunity_grants:
+            return (
+                "violation:trace immunity grant count drifted: "
+                f"{len(grants)} != {self.expect_immunity_grants}"
+            )
+        pairs = [
+            [str(txn) for txn in pair]
+            for pair in context.get("mutual_preemption_pairs", [])
+        ]
+        if pairs != self.expect_mutual_pairs:
+            return (
+                "violation:trace mutual-preemption pairs drifted: "
+                f"{pairs} != {self.expect_mutual_pairs}"
+            )
+        broken = _immunity_violation(events)
+        if broken is not None:
+            return broken
+        return "clean"
+
+
+def _immunity_violation(events: list[Event]) -> str | None:
+    """The immunity contract: the slot holder is never rolled back.
+
+    Tracks the holder through grant / handoff / release and flags any
+    ROLLBACK of the current holder — the exact failure mode the watchdog
+    exists to prevent (Figure 2's mutual preemption continuing past the
+    grant).
+    """
+    holder: str | None = None
+    for event in events:
+        kind = event.kind
+        if kind is EventKind.IMMUNITY_GRANT:
+            holder = event.txn
+        elif kind is EventKind.IMMUNITY_HANDOFF:
+            holder = event.txn
+        elif kind is EventKind.IMMUNITY_RELEASE:
+            if holder == event.txn:
+                holder = None
+        elif kind is EventKind.ROLLBACK and event.txn == holder:
+            return (
+                "violation:trace immune transaction "
+                f"{event.txn} was rolled back at step {event.step} "
+                "while holding the immunity slot"
+            )
+    return None
+
+
+def load_trace_case(path: str, data: dict[str, object]) -> TraceRegression:
+    """Build a :class:`TraceRegression` from a parsed JSON case."""
+    committed = data.get("expect_committed", [])
+    pairs = data.get("expect_mutual_pairs", [])
+    assert isinstance(committed, list) and isinstance(pairs, list)
+    return TraceRegression(
+        path=path,
+        scenario=str(data["scenario"]),
+        seed=int(data["seed"]),
+        expect_committed=[str(txn) for txn in committed],
+        expect_immunity_grants=int(data["expect_immunity_grants"]),
+        expect_mutual_pairs=[[str(txn) for txn in pair] for pair in pairs],
+    )

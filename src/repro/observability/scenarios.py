@@ -1,0 +1,207 @@
+"""Named, seeded scenarios for ``repro trace``.
+
+Each scenario builds a run with a :class:`~repro.observability.recorder.
+RunRecorder` attached from the first step, executes it, and returns the
+recorder plus a JSON-ready context summary.  All of them are pure
+functions of ``(name, seed)``: running one twice yields byte-identical
+JSONL exports, which is exactly what the CLI's determinism contract (and
+the double-run tests) assert.
+
+Scenarios
+---------
+``run``
+    A contended synthetic workload on the centralised scheduler under
+    unconstrained ``min-cost`` selection — blocks, deadlocks, victim
+    selections, and rollbacks in every trace.
+``chaos``
+    A :func:`~repro.resilience.chaos.chaos_run` with one injected crash:
+    WAL appends and checkpoints, the CRASH event, recovery, and the
+    recorder re-attached across segments into one continuous stream.
+``overload``
+    An :func:`~repro.admission.stress.overload_run` through the full
+    admission layer: submit/admit events, AIMD window moves, deadline
+    rungs, watchdog immunity.
+``figure2-immunity``
+    The paper's Figure 2 livelock (mutual preemption under unordered
+    ``min-cost``; T2 and T4 trade rollbacks in this reproduction) with
+    the starvation watchdog armed: the span timeline shows the immunity
+    grant breaking the mutual preemption so the run commits instead of
+    spinning.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .recorder import RunRecorder
+
+#: Selectable scenario names, in documentation order.
+SCENARIOS: tuple[str, ...] = ("run", "chaos", "overload", "figure2-immunity")
+
+
+def record_scenario(
+    name: str = "run", seed: int = 0, sample_every: int = 25
+) -> tuple[RunRecorder, dict[str, Any]]:
+    """Run scenario *name* from *seed* with a recorder attached.
+
+    Returns ``(recorder, context)`` where ``context`` is a
+    JSON-serializable description of what the run did (scenario-specific
+    headline numbers; the event stream itself lives on the recorder).
+    """
+    if name == "run":
+        return _scenario_run(seed, sample_every)
+    if name == "chaos":
+        return _scenario_chaos(seed, sample_every)
+    if name == "overload":
+        return _scenario_overload(seed, sample_every)
+    if name == "figure2-immunity":
+        return _scenario_figure2(seed, sample_every)
+    raise ValueError(
+        f"unknown scenario {name!r}; choose from {', '.join(SCENARIOS)}"
+    )
+
+
+def _scenario_run(
+    seed: int, sample_every: int
+) -> tuple[RunRecorder, dict[str, Any]]:
+    from ..core.scheduler import Scheduler
+    from ..simulation.engine import SimulationEngine
+    from ..simulation.interleaving import RandomInterleaving
+    from ..simulation.workload import WorkloadConfig, generate_workload
+
+    database, programs = generate_workload(
+        WorkloadConfig(
+            n_transactions=10,
+            n_entities=6,
+            locks_per_txn=(2, 4),
+            write_ratio=1.0,
+            skew="hotspot",
+        ),
+        seed=seed,
+    )
+    scheduler = Scheduler(database, strategy="mcs", policy="min-cost")
+    engine = SimulationEngine(
+        scheduler,
+        RandomInterleaving(seed=seed),
+        max_steps=200_000,
+        livelock_window=20_000,
+    )
+    recorder = RunRecorder(sample_every=sample_every).attach(engine)
+    for program in programs:
+        engine.add(program)
+    result = engine.run()
+    return recorder, {
+        "scenario": "run",
+        "seed": seed,
+        "steps": result.steps,
+        "committed": result.committed,
+        "livelock": result.livelock_detected,
+        "metrics": result.metrics.summary(),
+    }
+
+
+def _scenario_chaos(
+    seed: int, sample_every: int
+) -> tuple[RunRecorder, dict[str, Any]]:
+    from ..resilience.chaos import chaos_run
+    from ..simulation.workload import WorkloadConfig
+
+    recorder = RunRecorder(sample_every=sample_every)
+    outcome = chaos_run(
+        WorkloadConfig(
+            n_transactions=5,
+            n_entities=6,
+            locks_per_txn=(2, 4),
+            write_ratio=1.0,
+            skew="uniform",
+        ),
+        workload_seed=seed,
+        chaos_seed=seed,
+        crashes=1,
+        checkpoint_every=10,
+        instrument=recorder.attach,
+    )
+    return recorder, {
+        "scenario": "chaos",
+        "seed": seed,
+        "steps": outcome.steps,
+        "segments": outcome.segments,
+        "crashes": outcome.crashes,
+        "committed": sorted(outcome.committed),
+        "ok": outcome.ok,
+        "violation": (
+            None if outcome.violation is None else str(outcome.violation)
+        ),
+    }
+
+
+def _scenario_overload(
+    seed: int, sample_every: int
+) -> tuple[RunRecorder, dict[str, Any]]:
+    from ..admission.stress import OverloadConfig, overload_run
+
+    recorder = RunRecorder(sample_every=sample_every)
+    report, result = overload_run(
+        OverloadConfig(
+            n_transactions=24,
+            n_entities=4,
+            locks_per_txn=(2, 4),
+            deadline_steps=120,
+            preemption_limit=2,
+            max_steps=60_000,
+        ),
+        seed=seed,
+        instrument=recorder.attach,
+    )
+    return recorder, {
+        "scenario": "overload",
+        "seed": seed,
+        "steps": report.steps,
+        "admitted": report.admitted,
+        "committed": report.committed,
+        "shed": sorted(report.shed),
+        "deadline_expiries": report.deadline_expiries,
+        "immunity_grants": report.immunity_grants,
+        "fingerprint": report.fingerprint(),
+        "livelock": result.livelock_detected,
+    }
+
+
+def _scenario_figure2(
+    seed: int, sample_every: int
+) -> tuple[RunRecorder, dict[str, Any]]:
+    """Figure 2's mutual-preemption livelock, broken by watchdog immunity.
+
+    The scenario is fully scripted (the seed only labels the context —
+    the paper's interleaving is fixed), so determinism holds trivially.
+    The watchdog's preemption limit is low enough that a victim of the
+    mutual-preemption exchange ages out within a few rounds; once the
+    eldest holds the immunity slot, ``min-cost`` must stop preempting it
+    and the run commits.
+    """
+    from ..admission.guard import OverloadGuard
+    from ..admission.watchdog import StarvationWatchdog
+    from ..analysis.figures import drive_figure1
+
+    engine, _deadlock = drive_figure1(policy="min-cost", strategy="mcs")
+    recorder = RunRecorder(sample_every=sample_every).attach(engine)
+    engine.livelock_window = 2_000
+    engine.overload = OverloadGuard(
+        engine.scheduler,
+        watchdog=StarvationWatchdog(
+            preemption_limit=2, no_progress_window=300
+        ),
+    )
+    result = engine.run()
+    return recorder, {
+        "scenario": "figure2-immunity",
+        "seed": seed,
+        "steps": result.steps,
+        "committed": result.committed,
+        "livelock": result.livelock_detected,
+        "immunity_grants": result.metrics.immunity_grants,
+        "mutual_preemption_pairs": [
+            list(pair)
+            for pair in sorted(result.metrics.mutual_preemption_pairs())
+        ],
+    }

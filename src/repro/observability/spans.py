@@ -1,0 +1,230 @@
+"""Transaction spans: per-transaction causal timelines built from events.
+
+A :class:`Span` covers one transaction's life — admission to
+commit/shed — and contains nested :class:`Interval` records for the time
+it spent **blocked** on a lock and the time it spent **rolling back**.
+Every rolling-back interval carries a *cause link*: the transaction whose
+conflict forced the rollback and the sequence number of the triggering
+:data:`~repro.observability.events.EventKind.ROLLBACK` event, so a span
+timeline answers "who preempted whom, when, and what it cost" directly —
+the paper's Figure 2 mutual-preemption story as data.
+
+Spans are derived purely from the event stream (no scheduler access), so
+they can be rebuilt from an exported JSONL log as well as from a live
+:class:`~repro.observability.recorder.RunRecorder`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from .events import Event, EventKind
+
+#: Interval kinds a span may contain.
+BLOCKED = "blocked"
+ROLLING_BACK = "rolling-back"
+
+
+@dataclass
+class Interval:
+    """A nested stretch of a span: blocked on a lock, or rolling back.
+
+    ``cause`` is the transaction responsible (the lock holder side is not
+    tracked for blocks, so it is the contested entity there; for
+    rollbacks it is the *requester* whose conflict chose this victim —
+    mandatory, validated by :func:`validate_spans`).  ``cause_seq`` is
+    the sequence number of the event that opened the interval.
+    """
+
+    kind: str
+    start: int
+    end: int | None = None
+    cause: str = ""
+    cause_seq: int = -1
+    detail: str = ""
+
+    @property
+    def duration(self) -> int | None:
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+
+@dataclass
+class Span:
+    """One transaction's timeline from admission to termination."""
+
+    txn: str
+    start: int
+    end: int | None = None
+    outcome: str = "active"
+    intervals: list[Interval] = field(default_factory=list)
+
+    def open_interval(self, kind: str) -> Interval | None:
+        for interval in reversed(self.intervals):
+            if interval.kind == kind and interval.end is None:
+                return interval
+        return None
+
+    def close_interval(self, kind: str, step: int) -> None:
+        interval = self.open_interval(kind)
+        if interval is not None:
+            interval.end = step
+
+    def to_obj(self) -> dict[str, Any]:
+        """JSON-ready form (summary exporter)."""
+        return {
+            "txn": self.txn,
+            "start": self.start,
+            "end": self.end,
+            "outcome": self.outcome,
+            "intervals": [
+                {
+                    "kind": i.kind,
+                    "start": i.start,
+                    "end": i.end,
+                    "cause": i.cause,
+                    "cause_seq": i.cause_seq,
+                    "detail": i.detail,
+                }
+                for i in self.intervals
+            ],
+        }
+
+
+def build_spans(events: Iterable[Event]) -> dict[str, Span]:
+    """Fold the event stream into one :class:`Span` per transaction.
+
+    Interval semantics:
+
+    * ``blocked`` opens at LOCK_BLOCK and closes at the transaction's next
+      LOCK_GRANT, ROLLBACK (the wait was cancelled), TXN_SHED, or span end.
+    * ``rolling-back`` opens at ROLLBACK (closing any open blocked
+      interval first) and closes at the victim's next STEP — the moment it
+      is scheduled again — or at span end.
+    """
+    spans: dict[str, Span] = {}
+    last_step = 0
+
+    def span_for(txn: str, step: int) -> Span:
+        if txn not in spans:
+            spans[txn] = Span(txn=txn, start=step)
+        return spans[txn]
+
+    for event in events:
+        last_step = max(last_step, event.step)
+        kind = event.kind
+        if kind is EventKind.TXN_ADMIT:
+            span_for(event.txn, event.step)
+        elif kind is EventKind.LOCK_BLOCK:
+            span = span_for(event.txn, event.step)
+            if span.open_interval(BLOCKED) is None:
+                span.intervals.append(
+                    Interval(
+                        kind=BLOCKED,
+                        start=event.step,
+                        cause=str(event.data.get("entity", "")),
+                        cause_seq=event.seq,
+                    )
+                )
+        elif kind is EventKind.LOCK_GRANT:
+            span = span_for(event.txn, event.step)
+            span.close_interval(BLOCKED, event.step)
+        elif kind is EventKind.ROLLBACK:
+            span = span_for(event.txn, event.step)
+            span.close_interval(BLOCKED, event.step)
+            span.close_interval(ROLLING_BACK, event.step)
+            span.intervals.append(
+                Interval(
+                    kind=ROLLING_BACK,
+                    start=event.step,
+                    cause=str(event.data.get("requester", "")),
+                    cause_seq=event.seq,
+                    detail=(
+                        f"to state {event.data.get('target', '?')}, "
+                        f"{event.data.get('states_lost', '?')} states lost"
+                    ),
+                )
+            )
+        elif kind is EventKind.STEP:
+            span = span_for(event.txn, event.step)
+            span.close_interval(ROLLING_BACK, event.step)
+        elif kind is EventKind.TXN_COMMIT:
+            span = span_for(event.txn, event.step)
+            span.end = event.step
+            span.outcome = "committed"
+            span.close_interval(BLOCKED, event.step)
+            span.close_interval(ROLLING_BACK, event.step)
+        elif kind is EventKind.TXN_SHED:
+            span = span_for(event.txn, event.step)
+            span.end = event.step
+            span.outcome = "shed"
+            span.close_interval(BLOCKED, event.step)
+            span.close_interval(ROLLING_BACK, event.step)
+    # A run may end (crash, livelock stop) with spans still active; close
+    # their intervals at the last observed step so durations are defined.
+    for span in spans.values():
+        for interval in span.intervals:
+            if interval.end is None:
+                interval.end = last_step
+    return spans
+
+
+def validate_spans(spans: dict[str, Span]) -> list[str]:
+    """The span-model invariants; returns human-readable problems.
+
+    * no interval or span has a negative duration,
+    * every interval lies within its span,
+    * every rolling-back interval names its cause (requester) and the
+      triggering event.
+    """
+    problems: list[str] = []
+    for txn in sorted(spans):
+        span = spans[txn]
+        if span.end is not None and span.end < span.start:
+            problems.append(
+                f"{txn}: span ends at {span.end} before it starts "
+                f"at {span.start}"
+            )
+        for interval in span.intervals:
+            if interval.end is not None and interval.end < interval.start:
+                problems.append(
+                    f"{txn}: {interval.kind} interval has negative duration "
+                    f"({interval.start} -> {interval.end})"
+                )
+            if interval.start < span.start:
+                problems.append(
+                    f"{txn}: {interval.kind} interval starts before the span"
+                )
+            if (
+                span.end is not None
+                and interval.end is not None
+                and interval.end > span.end
+            ):
+                problems.append(
+                    f"{txn}: {interval.kind} interval outlives the span"
+                )
+            if interval.kind == ROLLING_BACK:
+                if not interval.cause:
+                    problems.append(
+                        f"{txn}: rolling-back interval at {interval.start} "
+                        f"has no cause (requester) link"
+                    )
+                if interval.cause_seq < 0:
+                    problems.append(
+                        f"{txn}: rolling-back interval at {interval.start} "
+                        f"has no triggering event"
+                    )
+    return problems
+
+
+def preemption_links(spans: dict[str, Span]) -> list[tuple[str, str, int]]:
+    """``(requester, victim, step)`` per rolling-back interval — the cause
+    links, flattened for reporting and the regression checks."""
+    links: list[tuple[str, str, int]] = []
+    for txn in sorted(spans):
+        for interval in spans[txn].intervals:
+            if interval.kind == ROLLING_BACK and interval.cause:
+                links.append((interval.cause, txn, interval.start))
+    return sorted(links, key=lambda item: (item[2], item[1], item[0]))

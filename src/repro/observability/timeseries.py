@@ -1,0 +1,175 @@
+"""Windowed time-series over logical time, derived from the event stream.
+
+Aggregate counters (:mod:`repro.core.metrics`) answer "how much, in
+total"; the time series answers "when": active transactions, blocked
+depth, waits-for edge count, states lost and rollbacks *per window*, and
+block-duration percentiles.  Everything is computed from published
+events, so the series is as deterministic as the event log it came from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from .events import Event, EventKind
+
+
+def percentile(values: list[int], fraction: float) -> int:
+    """Nearest-rank percentile (0 for an empty sample)."""
+    if not values:
+        return 0
+    ordered = sorted(values)
+    index = min(
+        len(ordered) - 1,
+        max(0, int(fraction * len(ordered) + 0.999999) - 1),
+    )
+    return ordered[index]
+
+
+@dataclass
+class WindowSample:
+    """Gauges and per-window deltas at the close of one window."""
+
+    window: int
+    step: int
+    active: int
+    blocked: int
+    wf_edges: int
+    rollbacks: int
+    states_lost: int
+    commits: int
+
+    def to_obj(self) -> dict[str, int]:
+        return {
+            "window": self.window,
+            "step": self.step,
+            "active": self.active,
+            "blocked": self.blocked,
+            "wf_edges": self.wf_edges,
+            "rollbacks": self.rollbacks,
+            "states_lost": self.states_lost,
+            "commits": self.commits,
+        }
+
+
+@dataclass
+class TimeSeries:
+    """The windowed series plus run-wide block-duration percentiles."""
+
+    window_steps: int
+    samples: list[WindowSample] = field(default_factory=list)
+    block_durations: list[int] = field(default_factory=list)
+
+    @property
+    def p50_block(self) -> int:
+        return percentile(self.block_durations, 0.50)
+
+    @property
+    def p99_block(self) -> int:
+        return percentile(self.block_durations, 0.99)
+
+    def peak(self, gauge: str) -> int:
+        return max(
+            (getattr(sample, gauge) for sample in self.samples), default=0
+        )
+
+    def to_obj(self) -> dict[str, Any]:
+        """JSON-ready summary (CLI ``--format summary`` and tests)."""
+        return {
+            "window_steps": self.window_steps,
+            "windows": [sample.to_obj() for sample in self.samples],
+            "block_p50": self.p50_block,
+            "block_p99": self.p99_block,
+            "peak_active": self.peak("active"),
+            "peak_blocked": self.peak("blocked"),
+            "peak_wf_edges": self.peak("wf_edges"),
+        }
+
+
+def build_timeseries(
+    events: Iterable[Event], window_steps: int = 50
+) -> TimeSeries:
+    """Fold the event stream into a :class:`TimeSeries`.
+
+    Gauges (active transactions, blocked set, waits-for edge count) are
+    sampled at each window close; rollbacks, states lost, and commits are
+    per-window deltas.  The waits-for edge count tracks the latest SAMPLE
+    event (published by the recorder's graph sampler) and carries forward
+    between samples.
+    """
+    if window_steps < 1:
+        raise ValueError("window_steps must be positive")
+    series = TimeSeries(window_steps=window_steps)
+    active: set[str] = set()
+    done: set[str] = set()
+    blocked_since: dict[str, int] = {}
+    wf_edges = 0
+    window = 0
+    rollbacks = 0
+    states_lost = 0
+    commits = 0
+    last_step = 0
+    any_events = False
+
+    def close_window(at_step: int) -> None:
+        nonlocal rollbacks, states_lost, commits
+        series.samples.append(
+            WindowSample(
+                window=window,
+                step=at_step,
+                active=len(active),
+                blocked=len(blocked_since),
+                wf_edges=wf_edges,
+                rollbacks=rollbacks,
+                states_lost=states_lost,
+                commits=commits,
+            )
+        )
+        rollbacks = 0
+        states_lost = 0
+        commits = 0
+
+    def end_block(txn: str, step: int) -> None:
+        since = blocked_since.pop(txn, None)
+        if since is not None:
+            series.block_durations.append(step - since)
+
+    for event in events:
+        any_events = True
+        while event.step >= (window + 1) * window_steps:
+            close_window((window + 1) * window_steps - 1)
+            window += 1
+        last_step = max(last_step, event.step)
+        kind = event.kind
+        if kind is EventKind.TXN_ADMIT or kind is EventKind.STEP:
+            # STEP covers scenarios that register before recording began;
+            # the done-guard keeps a terminated transaction's final STEP
+            # (published after its TXN_COMMIT) from re-activating it.
+            if event.txn and event.txn not in done:
+                active.add(event.txn)
+        elif kind is EventKind.TXN_COMMIT or kind is EventKind.TXN_SHED:
+            active.discard(event.txn)
+            done.add(event.txn)
+            end_block(event.txn, event.step)
+        elif kind is EventKind.LOCK_BLOCK:
+            blocked_since.setdefault(event.txn, event.step)
+        elif kind is EventKind.LOCK_GRANT:
+            end_block(event.txn, event.step)
+        elif kind is EventKind.ROLLBACK:
+            end_block(event.txn, event.step)
+            rollbacks += 1
+            lost = event.data.get("states_lost", 0)
+            states_lost += int(lost) if isinstance(lost, int) else 0
+        elif kind is EventKind.SAMPLE:
+            edges = event.data.get("wf_edges", wf_edges)
+            wf_edges = int(edges) if isinstance(edges, int) else wf_edges
+        if kind is EventKind.TXN_COMMIT:
+            commits += 1
+    if any_events:
+        close_window(last_step)
+    # A block still open at the end of the run counts at its observed
+    # length — p99 under livelock should reflect the stuck waiters.
+    for txn in sorted(blocked_since):
+        series.block_durations.append(last_step - blocked_since[txn])
+    return series

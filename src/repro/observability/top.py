@@ -1,0 +1,211 @@
+"""``repro top``: a text dashboard computed from the event stream.
+
+Given a recorded run and a step of interest, the dashboard shows what an
+operator would want on one screen: the hottest entities, the
+longest-blocked transactions, the worst rollback victims, and the state
+of the admission / watchdog / breaker machinery as of that step.  Pure
+function of the events — replayable from a JSONL export.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any
+
+from .events import Event, EventKind
+from .spans import BLOCKED, build_spans
+from .timeseries import build_timeseries
+
+
+@dataclass
+class TopReport:
+    """The dashboard's data, before rendering."""
+
+    at: int
+    hottest_entities: list[tuple[str, int]]
+    longest_blocked: list[tuple[str, int, str]]
+    rollback_victims: list[tuple[str, int, int]]
+    active: int
+    blocked: int
+    commits: int
+    sheds: int
+    deadlocks: int
+    admission_window: int | None
+    admission_queue: int
+    immunity_holder: str | None
+    breaker_states: dict[str, str] = field(default_factory=dict)
+    deadline_rungs: Counter = field(default_factory=Counter)
+    block_p50: int = 0
+    block_p99: int = 0
+
+    def to_obj(self) -> dict[str, Any]:
+        return {
+            "at": self.at,
+            "hottest_entities": [list(e) for e in self.hottest_entities],
+            "longest_blocked": [list(e) for e in self.longest_blocked],
+            "rollback_victims": [list(e) for e in self.rollback_victims],
+            "active": self.active,
+            "blocked": self.blocked,
+            "commits": self.commits,
+            "sheds": self.sheds,
+            "deadlocks": self.deadlocks,
+            "admission_window": self.admission_window,
+            "admission_queue": self.admission_queue,
+            "immunity_holder": self.immunity_holder,
+            "breaker_states": dict(sorted(self.breaker_states.items())),
+            "deadline_rungs": dict(sorted(self.deadline_rungs.items())),
+            "block_p50": self.block_p50,
+            "block_p99": self.block_p99,
+        }
+
+
+def build_top(
+    events: list[Event], at: int | None = None, limit: int = 5
+) -> TopReport:
+    """Fold the event prefix up to *at* (default: end of run)."""
+    if at is None:
+        at = max((event.step for event in events), default=0)
+    window = [event for event in events if event.step <= at]
+
+    hot: Counter = Counter()
+    victims: Counter = Counter()
+    states_lost: Counter = Counter()
+    active: set[str] = set()
+    done: set[str] = set()
+    commits = 0
+    sheds = 0
+    deadlocks = 0
+    admission_window: int | None = None
+    admission_queue = 0
+    immunity_holder: str | None = None
+    breaker_states: dict[str, str] = {}
+    rungs: Counter = Counter()
+    for event in window:
+        kind = event.kind
+        if kind is EventKind.LOCK_BLOCK:
+            hot[str(event.data.get("entity", "?"))] += 1
+        elif kind is EventKind.ROLLBACK:
+            victims[event.txn] += 1
+            lost = event.data.get("states_lost", 0)
+            states_lost[event.txn] += int(lost) if isinstance(lost, int) else 0
+        elif kind is EventKind.TXN_ADMIT or kind is EventKind.STEP:
+            # The engine's STEP event lands after any TXN_COMMIT published
+            # inside the same scheduler step, so a terminated transaction
+            # must not be re-activated by its own final step.
+            if event.txn and event.txn not in done:
+                active.add(event.txn)
+        elif kind is EventKind.DEADLOCK:
+            deadlocks += 1
+        elif kind is EventKind.ADMISSION_WINDOW:
+            value = event.data.get("window")
+            admission_window = int(value) if isinstance(value, int) else None
+        elif kind is EventKind.ADMISSION_SUBMIT:
+            admission_queue += 1
+        elif kind is EventKind.ADMISSION_ADMIT:
+            admission_queue = max(0, admission_queue - 1)
+        elif kind is EventKind.IMMUNITY_GRANT:
+            immunity_holder = event.txn
+        elif kind is EventKind.IMMUNITY_RELEASE:
+            if immunity_holder == event.txn:
+                immunity_holder = None
+        elif kind is EventKind.BREAKER_TRANSITION:
+            breaker_states[str(event.data.get("site", "?"))] = str(
+                event.data.get("after", "?")
+            )
+        elif kind is EventKind.DEADLINE_RUNG:
+            rungs[f"rung-{event.data.get('rung', '?')}"] += 1
+        if kind is EventKind.TXN_COMMIT:
+            commits += 1
+            active.discard(event.txn)
+            done.add(event.txn)
+        elif kind is EventKind.TXN_SHED:
+            sheds += 1
+            active.discard(event.txn)
+            done.add(event.txn)
+
+    spans = build_spans(window)
+    blocked_now = 0
+    longest: list[tuple[str, int, str]] = []
+    for txn in sorted(spans):
+        for interval in spans[txn].intervals:
+            if interval.kind != BLOCKED or interval.start > at:
+                continue
+            end = interval.end if interval.end is not None else at
+            end = min(end, at)
+            if end >= at > interval.start:
+                blocked_now += 1
+            longest.append((txn, end - interval.start, interval.cause))
+    longest.sort(key=lambda item: (-item[1], item[0]))
+
+    series = build_timeseries(window)
+    return TopReport(
+        at=at,
+        hottest_entities=hot.most_common(limit),
+        longest_blocked=longest[:limit],
+        rollback_victims=[
+            (txn, count, states_lost[txn])
+            for txn, count in victims.most_common(limit)
+        ],
+        active=len(active),
+        blocked=blocked_now,
+        commits=commits,
+        sheds=sheds,
+        deadlocks=deadlocks,
+        admission_window=admission_window,
+        admission_queue=admission_queue,
+        immunity_holder=immunity_holder,
+        breaker_states=breaker_states,
+        deadline_rungs=rungs,
+        block_p50=series.p50_block,
+        block_p99=series.p99_block,
+    )
+
+
+def render_top(report: TopReport) -> str:
+    """The dashboard as fixed-width terminal text."""
+    lines = [
+        f"repro top @ step {report.at}",
+        "",
+        f"active {report.active:>4}   blocked {report.blocked:>4}   "
+        f"commits {report.commits:>4}   shed {report.sheds:>3}   "
+        f"deadlocks {report.deadlocks:>4}",
+        f"block p50/p99        {report.block_p50}/{report.block_p99} steps",
+    ]
+    if report.admission_window is not None:
+        lines.append(
+            f"admission window     {report.admission_window} "
+            f"(queue ~{report.admission_queue})"
+        )
+    lines.append(
+        f"immunity holder      {report.immunity_holder or '(none)'}"
+    )
+    if report.breaker_states:
+        states = ", ".join(
+            f"site {site}: {state}"
+            for site, state in sorted(report.breaker_states.items())
+        )
+        lines.append(f"breakers             {states}")
+    if report.deadline_rungs:
+        rungs = ", ".join(
+            f"{name} x{count}"
+            for name, count in sorted(report.deadline_rungs.items())
+        )
+        lines.append(f"deadline escalations {rungs}")
+    lines.append("")
+    lines.append("hottest entities (blocks)")
+    for entity, count in report.hottest_entities or [("(none)", 0)]:
+        lines.append(f"  {entity:<12} {count:>6}")
+    lines.append("longest blocked (txn, steps, entity)")
+    if report.longest_blocked:
+        for txn, duration, entity in report.longest_blocked:
+            lines.append(f"  {txn:<8} {duration:>6}  on {entity}")
+    else:
+        lines.append("  (none)")
+    lines.append("rollback victims (txn, rollbacks, states lost)")
+    if report.rollback_victims:
+        for txn, count, lost in report.rollback_victims:
+            lines.append(f"  {txn:<8} {count:>6}  {lost:>6}")
+    else:
+        lines.append("  (none)")
+    return "\n".join(lines)

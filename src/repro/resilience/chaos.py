@@ -29,9 +29,11 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
+from typing import Callable
 
 from ..core.scheduler import Scheduler
 from ..errors import ReproError
+from ..observability.events import EventKind
 from ..simulation.engine import SimulationEngine
 from ..simulation.interleaving import RandomInterleaving
 from ..simulation.workload import (
@@ -172,6 +174,7 @@ def chaos_run(
     max_steps: int = 200_000,
     livelock_window: int = 20_000,
     horizon: int | None = None,
+    instrument: Callable[[SimulationEngine], None] | None = None,
 ) -> ChaosRunOutcome:
     """Run one workload under one fault plan, recovering across crashes.
 
@@ -179,7 +182,11 @@ def chaos_run(
     fault-count knobs; pass an explicit plan to replay a known schedule
     (the crash sweep and the regression loader do).  ``sites > 0`` runs
     the distributed scheduler over a round-robin partition, exposing the
-    network and site-crash fault kinds.
+    network and site-crash fault kinds.  ``instrument`` is called with
+    each segment's engine before it runs (first in the attach order, so
+    an attached observability recorder's bus is live before the recovery
+    manager copies it onto the WAL) — the recorder re-attaches across
+    crash segments and stitches one continuous event stream.
     """
     database, programs = generate_workload(config, seed=workload_seed)
     expected = expected_final_state(database, programs)
@@ -245,6 +252,8 @@ def chaos_run(
             stop_on_livelock=True,
             on_step=suite,
         )
+        if instrument is not None:
+            instrument(engine)
         recovery = RecoveryManager(survivors, checkpoint_every)
         recovery.attach(engine)
         injector.attach(engine)  # last: crash fires after WAL bookkeeping
@@ -253,6 +262,12 @@ def chaos_run(
         try:
             result = engine.run()
         except CrashSignal:
+            if scheduler.bus:
+                scheduler.bus.publish(
+                    EventKind.CRASH,
+                    segment=segment,
+                    at=len(engine.trace),
+                )
             segment_fingerprints.append(engine.trace.fingerprint())
             metrics_summaries.append(scheduler.metrics.summary())
             steps += len(engine.trace)

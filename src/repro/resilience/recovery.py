@@ -72,6 +72,7 @@ class RecoveryManager:
         """
         scheduler = engine.scheduler
         self.wal = WriteAheadLog(scheduler.database.snapshot())
+        self.wal.bus = scheduler.bus
         scheduler.wal = self.wal
         previous = engine.on_step
 

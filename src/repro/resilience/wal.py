@@ -37,6 +37,8 @@ import hashlib
 from dataclasses import dataclass
 from typing import Any
 
+from ..observability.events import NULL_BUS, EventBus, EventKind
+
 Value = Any
 
 
@@ -97,26 +99,37 @@ class WriteAheadLog:
         self.records: list[WalRecord] = []
         self.checkpoints: list[Checkpoint] = []
         self._initial_state = dict(initial_state)
+        #: Observability bus (the recovery manager installs the
+        #: scheduler's live bus when one is attached).
+        self.bus: EventBus = NULL_BUS
 
     # -- logging ------------------------------------------------------------
 
+    def _append(self, record: WalRecord) -> None:
+        """The single append path: every logged record lands here, so the
+        WAL_APPEND stream is complete by construction."""
+        self.records.append(record)
+        if self.bus:
+            self.bus.publish(
+                EventKind.WAL_APPEND,
+                record.txn_id,
+                lsn=len(self.records) - 1,
+                record=str(record.kind),
+                entity=record.entity,
+                target=record.target,
+            )
+
     def log_grant(self, txn_id: str, entity: str, mode: str) -> None:
-        self.records.append(
-            WalRecord(WalKind.GRANT, txn_id, entity, value=mode)
-        )
+        self._append(WalRecord(WalKind.GRANT, txn_id, entity, value=mode))
 
     def log_install(self, txn_id: str, entity: str, value: Value) -> None:
-        self.records.append(
-            WalRecord(WalKind.INSTALL, txn_id, entity, value=value)
-        )
+        self._append(WalRecord(WalKind.INSTALL, txn_id, entity, value=value))
 
     def log_commit(self, txn_id: str) -> None:
-        self.records.append(WalRecord(WalKind.COMMIT, txn_id))
+        self._append(WalRecord(WalKind.COMMIT, txn_id))
 
     def log_rollback(self, txn_id: str, target: int) -> None:
-        self.records.append(
-            WalRecord(WalKind.ROLLBACK, txn_id, target=target)
-        )
+        self._append(WalRecord(WalKind.ROLLBACK, txn_id, target=target))
 
     # -- checkpoints ---------------------------------------------------------
 
@@ -129,6 +142,13 @@ class WriteAheadLog:
             committed=tuple(committed),
         )
         self.checkpoints.append(point)
+        if self.bus:
+            self.bus.publish(
+                EventKind.WAL_CHECKPOINT,
+                lsn=point.lsn,
+                at=step,
+                committed=sorted(point.committed),
+            )
         return point
 
     def latest_checkpoint(self) -> Checkpoint | None:
@@ -163,9 +183,19 @@ class WriteAheadLog:
             state = dict(point.state)
             suffix = self.records[point.lsn:]
         committed = self.committed_ids()
+        redone = 0
         for record in suffix:
             if record.kind is WalKind.INSTALL and record.txn_id in committed:
                 state[record.entity] = record.value
+                redone += 1
+        if self.bus:
+            self.bus.publish(
+                EventKind.WAL_RECOVER,
+                from_lsn=0 if point is None else point.lsn,
+                records_scanned=len(suffix),
+                installs_redone=redone,
+                committed=sorted(committed),
+            )
         return state, committed
 
     # -- introspection ---------------------------------------------------------

@@ -20,9 +20,10 @@ if TYPE_CHECKING:  # avoids the admission <-> simulation import cycle
     from ..admission.guard import OverloadGuard
 
 from ..core.metrics import Metrics
-from ..core.scheduler import Scheduler, StepOutcome
+from ..core.scheduler import Scheduler, StepOutcome, StepResult
 from ..core.transaction import TransactionProgram, TxnStatus
 from ..errors import SimulationError
+from ..observability.events import EventKind
 from .interleaving import InterleavingPolicy, RoundRobin
 from .trace import Trace, TraceEvent
 
@@ -106,6 +107,36 @@ class SimulationEngine:
         self.trace = Trace()
         self._pending_arrivals: list[tuple[int, TransactionProgram]] = []
 
+    def _record(
+        self, step: int, result: StepResult, operation: str
+    ) -> TraceEvent:
+        """Record one executed step — through the event bus when the
+        scheduler has a live one, else directly into the trace.
+
+        The bus path publishes a STEP event (the run-wide observability
+        stream) and feeds it to :meth:`Trace.consume`, so the trace and
+        every other subscriber see the same record; the no-op-bus path
+        skips payload construction entirely (zero cost when disabled).
+        """
+        bus = self.scheduler.bus
+        if bus:
+            bus.advance(step)
+            event = bus.publish(
+                EventKind.STEP,
+                result.txn_id,
+                outcome=str(result.outcome),
+                operation=operation,
+                cycles=(
+                    [list(c) for c in result.deadlock.cycles]
+                    if result.deadlock is not None
+                    else []
+                ),
+                actions=[str(a) for a in result.actions],
+            )
+            assert event is not None
+            return self.trace.consume(event)
+        return self.trace.record(step, result, operation=operation)
+
     def add(self, program: TransactionProgram) -> None:
         """Register one more program before (or during) a run."""
         self.scheduler.register(program)
@@ -130,11 +161,16 @@ class SimulationEngine:
         self.interleaving.reset()
         step_hook = getattr(self.scheduler, "on_engine_step", None)
         guard = self.overload
+        bus = self.scheduler.bus
         while (
             not self.scheduler.all_done
             or self._pending_arrivals
             or (guard is not None and guard.pending())
         ):
+            # The logical clock is the step number the *next* recorded
+            # step will carry, so admissions, deadline firings, and the
+            # step's own events all timestamp consistently.
+            bus.advance(steps + 1)
             while (
                 self._pending_arrivals
                 and self._pending_arrivals[0][0] <= steps
@@ -162,6 +198,7 @@ class SimulationEngine:
                 # system.  Advance idle time until it does or gives up.
                 for idle in range(self.max_steps):
                     steps += 1
+                    bus.advance(steps + 1)
                     if step_hook is not None:
                         step_hook(steps)
                     if guard is not None:
@@ -192,9 +229,9 @@ class SimulationEngine:
             operation = txn.current_operation()
             result = self.scheduler.step(txn_id)
             steps += 1
-            event = self.trace.record(
+            event = self._record(
                 steps, result,
-                operation=operation.describe() if operation else "commit",
+                operation.describe() if operation else "commit",
             )
             if self.on_step is not None:
                 self.on_step(self, event)
@@ -236,10 +273,13 @@ class SimulationEngine:
         """Step a specific transaction once (scenario scripting helper)."""
         txn = self.scheduler.transaction(txn_id)
         operation = txn.current_operation()
+        bus = self.scheduler.bus
+        if bus:
+            bus.advance(len(self.trace) + 1)
         result = self.scheduler.step(txn_id)
-        event = self.trace.record(
+        event = self._record(
             len(self.trace) + 1, result,
-            operation=operation.describe() if operation else "commit",
+            operation.describe() if operation else "commit",
         )
         if self.on_step is not None:
             self.on_step(self, event)

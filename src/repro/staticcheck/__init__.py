@@ -13,7 +13,8 @@ Two pillars:
   :mod:`~repro.staticcheck.checkers` — a small AST lint framework with
   project-specific rules (RR001 nondeterminism hazards, RR002 lock-API
   discipline, RR003 registration completeness, RR004 seeded-Random
-  plumbing), exposed as ``repro lint``;
+  plumbing, RR005 metrics-mutation discipline), exposed as
+  ``repro lint``;
 * :mod:`~repro.staticcheck.predict` — trace-based deadlock prediction:
   a lock-order graph built from one recorded execution, cycles that are
   feasible in *alternate* interleavings, each cross-validated by

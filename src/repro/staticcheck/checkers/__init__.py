@@ -12,6 +12,9 @@ RR003 Registration completeness: every concrete strategy / victim
       policy / oracle class is reachable from its factory/registry.
 RR004 Seeded-Random plumbing: every ``random.Random`` construction
       is fed an explicit seed or generator the caller controls.
+RR005 Metrics discipline: counters mutate only through
+      ``Metrics.bump`` so the aggregate counters and the event bus
+      cannot diverge.
 ===== =============================================================
 
 ``default_checkers()`` is the suite ``repro lint`` runs; the rules'
@@ -23,9 +26,11 @@ from .rr001_determinism import NondeterminismChecker
 from .rr002_locks import LockDisciplineChecker
 from .rr003_registration import RegistrationChecker
 from .rr004_seeding import SeededRandomChecker
+from .rr005_metrics import MetricsDisciplineChecker
 
 __all__ = [
     "LockDisciplineChecker",
+    "MetricsDisciplineChecker",
     "NondeterminismChecker",
     "RegistrationChecker",
     "SeededRandomChecker",
@@ -41,6 +46,7 @@ def default_checkers() -> list[Checker]:
         LockDisciplineChecker(),
         RegistrationChecker(),
         SeededRandomChecker(),
+        MetricsDisciplineChecker(),
     ]
 
 

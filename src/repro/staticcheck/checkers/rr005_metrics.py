@@ -1,0 +1,69 @@
+"""RR005 — metrics flow through the sanctioned mutation API.
+
+The observability layer's contract is that counters and the event bus
+tell the same story: every counter move corresponds to a published
+event, and both derive from one code path.  That only holds if the
+*single* sanctioned mutation —
+:meth:`repro.core.metrics.Metrics.bump` — is the way counters change;
+a stray ``scheduler.metrics.rollbacks += 1`` silently diverges the
+aggregate counters from the event stream, and nothing at runtime
+notices (the trace fingerprint still matches, the summary just lies).
+
+Outside :mod:`repro.core.metrics` this rule therefore forbids assigning
+or augmenting any attribute reached through a ``metrics`` object —
+``engine.scheduler.metrics.commits = 0`` and ``metrics.blocks += 1``
+alike.  Reading counters stays unrestricted, as does replacing the
+whole object (``scheduler.metrics = Metrics()``), which is how runs
+reset.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..framework import Checker, Finding, Module
+
+_METRICS_MODULE = "repro.core.metrics"
+
+
+def _is_metrics_object(node: ast.expr) -> bool:
+    """``metrics`` as a bare name or as the final attribute of a chain."""
+    if isinstance(node, ast.Name):
+        return node.id == "metrics"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "metrics"
+    return False
+
+
+class MetricsDisciplineChecker(Checker):
+    rule = "RR005"
+    title = "metrics mutate only through Metrics.bump"
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        if module.in_package(_METRICS_MODULE):
+            return ()
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.AugAssign):
+                targets = [node.target]
+            elif isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            else:
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Attribute):
+                    continue
+                if not _is_metrics_object(target.value):
+                    continue
+                findings.append(
+                    self.finding(
+                        module, node,
+                        f"direct mutation of metrics counter "
+                        f"{target.attr!r} bypasses Metrics.bump (and "
+                        f"therefore the event bus); call "
+                        f"metrics.bump({target.attr!r}) from the "
+                        f"instrumented code path instead",
+                    )
+                )
+        return findings

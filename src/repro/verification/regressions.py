@@ -23,14 +23,17 @@ from .cases import ReplayCase, replay
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..admission.stress import OverloadRegression
+    from ..observability.regression import TraceRegression
 
 FORMAT_VERSION = 1
 
 #: Case kinds this loader understands.  ``replay`` (the default when the
 #: field is absent) is a shrunk scripted-schedule case; ``overload`` pins
 #: an admission-control comparison (see
-#: :class:`repro.admission.stress.OverloadRegression`).
-CASE_KINDS = ("replay", "overload")
+#: :class:`repro.admission.stress.OverloadRegression`); ``trace`` pins a
+#: recorded scenario's span timeline (see
+#: :class:`repro.observability.regression.TraceRegression`).
+CASE_KINDS = ("replay", "overload", "trace")
 
 #: Expectation values: the oracle that must fire, or no violation at all.
 EXPECT_CLEAN = "clean"
@@ -58,7 +61,7 @@ def save_case(case: ReplayCase, path: str | Path) -> Path:
 
 def load_case(
     path: str | Path,
-) -> tuple["ReplayCase | OverloadRegression", str]:
+) -> tuple["ReplayCase | OverloadRegression | TraceRegression", str]:
     """Read a regression file; returns ``(case, expectation)``.
 
     The optional ``"kind"`` field dispatches to non-replay case types;
@@ -78,6 +81,10 @@ def load_case(
         from ..admission.stress import load_overload_case
 
         return load_overload_case(str(path), document), expect
+    if kind == "trace":
+        from ..observability.regression import load_trace_case
+
+        return load_trace_case(str(path), document), expect
     if kind != "replay":
         raise ValueError(
             f"{path}: unknown case kind {kind!r} (expected one of "
@@ -87,7 +94,7 @@ def load_case(
 
 
 def check_case(
-    case: "ReplayCase | OverloadRegression", expect: str
+    case: "ReplayCase | OverloadRegression | TraceRegression", expect: str
 ) -> None:
     """Replay *case* and assert the recorded expectation.
 
@@ -99,7 +106,7 @@ def check_case(
         # expectation string ("clean" or "violation:<what> <detail>").
         verdict = case.check()
         assert verdict == expect, (
-            f"overload regression case diverged: expected {expect!r}, "
+            f"regression case diverged: expected {expect!r}, "
             f"got {verdict!r}"
         )
         return

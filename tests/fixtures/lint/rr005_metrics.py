@@ -1,0 +1,39 @@
+"""Fixture: RR005 direct-metrics-mutation violations (parsed, never imported)."""
+
+
+class Metrics:
+    rollbacks = 0
+    commits = 0
+    blocks = 0
+
+    def bump(self, counter: str, by: int = 1) -> None:
+        setattr(self, counter, getattr(self, counter) + by)
+
+
+class Scheduler:
+    def __init__(self) -> None:
+        self.metrics = Metrics()
+
+
+def augmented(scheduler: Scheduler) -> None:
+    scheduler.metrics.rollbacks += 1  # violation: bypasses bump
+
+
+def assigned(metrics: Metrics) -> None:
+    metrics.commits = 5  # violation: bare-name metrics object
+
+
+def nested(engine) -> None:
+    engine.scheduler.metrics.blocks += 2  # violation: deep chain
+
+
+def sanctioned(scheduler: Scheduler) -> None:
+    scheduler.metrics.bump("rollbacks")  # ok: the single mutation API
+
+
+def replacing(scheduler: Scheduler) -> None:
+    scheduler.metrics = Metrics()  # ok: swapping the whole object
+
+
+def reading(scheduler: Scheduler) -> int:
+    return scheduler.metrics.rollbacks  # ok: reads are unrestricted

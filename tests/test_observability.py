@@ -1,0 +1,396 @@
+"""The observability layer: bus, recorder, spans, exporters, CLI verbs.
+
+The load-bearing properties, in test order:
+
+* bus mechanics — monotonic clock, never-resetting sequence numbers,
+  no-op NULL_BUS semantics;
+* non-interference — attaching a recorder must not change what the
+  engine computes (same trace fingerprint and metrics with and without);
+* determinism — recording the same scenario twice from the same seed
+  yields byte-identical JSONL (the ``repro trace`` contract);
+* span validity — no negative durations, every rolling-back interval
+  carries its preemption cause;
+* exporter schemas — Chrome ``trace_event`` shape, summary() JSON
+  round-trip with the contention collections;
+* CLI exit codes for ``repro trace`` / ``repro top``.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.observability.events import (
+    NULL_BUS,
+    EventBus,
+    EventKind,
+    NullBus,
+    events_of,
+)
+from repro.observability.export import (
+    fingerprint,
+    graph_snapshots,
+    to_chrome,
+    to_jsonl,
+)
+from repro.observability.regression import TraceRegression
+from repro.observability.scenarios import SCENARIOS, record_scenario
+from repro.observability.spans import (
+    ROLLING_BACK,
+    build_spans,
+    preemption_links,
+    validate_spans,
+)
+from repro.observability.timeseries import build_timeseries, percentile
+from repro.observability.top import build_top, render_top
+
+#: One recording per scenario per module run — the expensive fixture.
+_CACHE = {}
+
+
+def recorded(name, seed=7):
+    key = (name, seed)
+    if key not in _CACHE:
+        _CACHE[key] = record_scenario(name, seed=seed)
+    return _CACHE[key]
+
+
+# -- bus mechanics -----------------------------------------------------------
+
+
+class TestEventBus:
+    def test_publish_stamps_step_and_monotonic_seq(self):
+        bus = EventBus()
+        bus.advance(3)
+        first = bus.publish(EventKind.LOCK_GRANT, "T1", entity="x")
+        second = bus.publish(EventKind.LOCK_BLOCK, "T2", entity="x")
+        assert (first.step, second.step) == (3, 3)
+        assert second.seq == first.seq + 1
+
+    def test_advance_ignores_late_clock(self):
+        bus = EventBus()
+        bus.advance(5)
+        bus.advance(2)  # late: must not rewind
+        assert bus.publish(EventKind.STEP).step == 5
+
+    def test_sinks_run_in_subscription_order(self):
+        bus = EventBus()
+        order = []
+        bus.subscribe(lambda e: order.append("a"))
+        bus.subscribe(lambda e: order.append("b"))
+        bus.publish(EventKind.STEP)
+        assert order == ["a", "b"]
+
+    def test_null_bus_is_falsy_and_inert(self):
+        assert not NULL_BUS
+        assert isinstance(NULL_BUS, NullBus)
+        assert NULL_BUS.publish(EventKind.STEP) is None
+        NULL_BUS.advance(10)  # no-op, no error
+        with pytest.raises(ValueError):
+            NULL_BUS.subscribe(lambda e: None)
+
+    def test_events_of_filters_by_kind(self):
+        bus = EventBus()
+        kept = []
+        bus.subscribe(kept.append)
+        bus.publish(EventKind.STEP)
+        bus.publish(EventKind.ROLLBACK, "T1")
+        rollbacks = list(events_of(kept, EventKind.ROLLBACK))
+        assert [e.txn for e in rollbacks] == ["T1"]
+
+
+# -- non-interference --------------------------------------------------------
+
+
+def _bare_run(seed):
+    from repro.core.scheduler import Scheduler
+    from repro.simulation.engine import SimulationEngine
+    from repro.simulation.interleaving import RandomInterleaving
+    from repro.simulation.workload import WorkloadConfig, generate_workload
+
+    database, programs = generate_workload(
+        WorkloadConfig(
+            n_transactions=10,
+            n_entities=6,
+            locks_per_txn=(2, 4),
+            write_ratio=1.0,
+            skew="hotspot",
+        ),
+        seed=seed,
+    )
+    scheduler = Scheduler(database, strategy="mcs", policy="min-cost")
+    engine = SimulationEngine(
+        scheduler,
+        RandomInterleaving(seed=seed),
+        max_steps=200_000,
+        livelock_window=20_000,
+    )
+    for program in programs:
+        engine.add(program)
+    return engine.run()
+
+
+def test_recorder_does_not_change_the_run():
+    """The observer must not perturb: same workload with and without the
+    bus attached produces the same trace and the same metrics."""
+    bare = _bare_run(seed=7)
+    _recorder, context = recorded("run", seed=7)
+    assert context["steps"] == bare.steps
+    assert context["committed"] == bare.committed
+    assert context["metrics"] == bare.metrics.summary()
+
+
+def test_recorded_trace_matches_bare_trace():
+    bare = _bare_run(seed=7)
+    recorder, _context = recorded("run", seed=7)
+    steps = [e for e in recorder.events if e.kind is EventKind.STEP]
+    assert len(steps) == len(bare.trace)
+    assert [e.step for e in steps] == [t.step for t in bare.trace]
+
+
+# -- determinism -------------------------------------------------------------
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_same_seed_is_byte_identical(scenario):
+    first, _ = record_scenario(scenario, seed=3)
+    second, _ = record_scenario(scenario, seed=3)
+    assert to_jsonl(first.events) == to_jsonl(second.events)
+    assert fingerprint(first.events) == fingerprint(second.events)
+
+
+def test_different_seeds_diverge():
+    first, _ = recorded("run", seed=7)
+    second, _ = record_scenario("run", seed=8)
+    assert fingerprint(first.events) != fingerprint(second.events)
+
+
+def test_unknown_scenario_is_rejected():
+    with pytest.raises(ValueError, match="unknown scenario"):
+        record_scenario("nope", seed=0)
+
+
+# -- span validity -----------------------------------------------------------
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_span_timelines_validate(scenario):
+    recorder, _context = recorded(scenario)
+    spans = build_spans(recorder.events)
+    assert spans, "scenario produced no transaction spans"
+    assert validate_spans(spans) == []
+
+
+def test_every_rollback_interval_has_a_cause():
+    recorder, _context = recorded("run")
+    spans = build_spans(recorder.events)
+    rollback_intervals = [
+        interval
+        for span in spans.values()
+        for interval in span.intervals
+        if interval.kind == ROLLING_BACK
+    ]
+    assert rollback_intervals, "run scenario produced no rollbacks"
+    for interval in rollback_intervals:
+        assert interval.cause
+        assert interval.cause_seq >= 0
+
+
+def test_no_negative_durations():
+    recorder, _context = recorded("overload")
+    for span in build_spans(recorder.events).values():
+        if span.end is not None:
+            assert span.end >= span.start
+        for interval in span.intervals:
+            if interval.end is not None:
+                assert interval.duration >= 0
+
+
+def test_preemption_links_name_both_sides():
+    recorder, _context = recorded("figure2-immunity")
+    links = preemption_links(build_spans(recorder.events))
+    assert links
+    assert any(victim != by for victim, by, _seq in links)
+
+
+def test_figure2_immunity_breaks_the_livelock():
+    """The pinned story: mutual preemption under min-cost ends at the
+    watchdog's immunity grant and every transaction commits."""
+    recorder, context = recorded("figure2-immunity")
+    assert context["livelock"] is False
+    assert sorted(context["committed"]) == ["T1", "T2", "T3", "T4"]
+    grants = [
+        e for e in recorder.events if e.kind is EventKind.IMMUNITY_GRANT
+    ]
+    assert grants, "watchdog never granted immunity"
+    assert context["mutual_preemption_pairs"], (
+        "scenario lost its mutual preemption — it no longer exercises "
+        "the Figure 2 livelock"
+    )
+
+
+def test_trace_regression_checker_catches_drift():
+    case = TraceRegression(
+        path="(inline)",
+        scenario="figure2-immunity",
+        seed=7,
+        expect_committed=["T1", "T2", "T3", "T4"],
+        expect_immunity_grants=99,  # deliberately wrong
+        expect_mutual_pairs=[["T2", "T4"]],
+    )
+    verdict = case.check()
+    assert verdict.startswith("violation:trace immunity grant count")
+
+
+# -- exporters ---------------------------------------------------------------
+
+
+def test_jsonl_lines_are_sorted_key_objects():
+    recorder, _context = recorded("run")
+    lines = to_jsonl(recorder.events).splitlines()
+    assert len(lines) == len(recorder.events)
+    for line in lines[:20]:
+        obj = json.loads(line)
+        assert list(obj) == sorted(obj)
+        assert {"kind", "step", "seq"} <= set(obj)
+
+
+def test_chrome_export_schema():
+    recorder, _context = recorded("run")
+    document = json.loads(json.dumps(to_chrome(recorder.events)))
+    assert set(document) == {"traceEvents", "displayTimeUnit", "otherData"}
+    events = document["traceEvents"]
+    assert events
+    for entry in events:
+        assert entry["ph"] in ("M", "X", "i")
+        assert {"name", "pid", "tid"} <= set(entry)
+        if entry["ph"] == "X":
+            assert entry["dur"] >= 1
+            assert entry["ts"] >= 0
+        if entry["ph"] == "i":
+            assert entry["s"] in ("t", "g")
+    # one timeline row (thread_name metadata) per transaction span
+    rows = [e for e in events if e["name"] == "thread_name"]
+    assert len(rows) == len(build_spans(recorder.events))
+
+
+def test_graph_snapshots_render_dot():
+    recorder, _context = recorded("run")
+    snapshots = graph_snapshots(recorder.events)
+    assert snapshots
+    for step, dot in snapshots:
+        assert step >= 0
+        assert dot.startswith("digraph")
+
+
+def test_metrics_summary_full_schema():
+    """summary() is the documented JSON contract: every key present,
+    the whole object round-trippable, collections in sorted order."""
+    _recorder, context = recorded("run")
+    summary = context["metrics"]
+    assert json.loads(json.dumps(summary)) == summary
+    expected = {
+        "ops_executed", "locks_granted", "blocks", "deadlocks",
+        "rollbacks", "partial_rollbacks", "total_rollbacks",
+        "states_lost", "overshoot_states", "mean_states_lost", "commits",
+        "copies_peak", "storage_faults", "degraded_restarts",
+        "backoff_stalls", "restart_escalations", "admitted", "shed",
+        "admission_queue_peak", "deadline_expiries", "deadline_partials",
+        "deadline_restarts", "immunity_grants", "breaker_opens",
+        "breaker_rejections", "rollbacks_by_victim", "hottest_entities",
+        "mutual_preemption_pairs",
+    }
+    assert set(summary) == expected
+    victims = summary["rollbacks_by_victim"]
+    assert list(victims) == sorted(victims)
+    assert sum(victims.values()) == summary["rollbacks"]
+    for entity, count in summary["hottest_entities"]:
+        assert isinstance(entity, str) and count >= 1
+    for pair in summary["mutual_preemption_pairs"]:
+        assert len(pair) == 2 and pair == sorted(pair)
+
+
+# -- time series and top -----------------------------------------------------
+
+
+def test_percentile_nearest_rank():
+    assert percentile([], 0.99) == 0
+    assert percentile([5], 0.50) == 5
+    assert percentile(list(range(1, 101)), 0.50) == 50
+    assert percentile(list(range(1, 101)), 0.99) == 99
+
+
+def test_timeseries_windows_cover_the_run():
+    recorder, context = recorded("run")
+    series = build_timeseries(recorder.events, window_steps=50)
+    assert series.samples
+    assert series.samples[-1].step >= context["steps"] - 1
+    assert sum(s.commits for s in series.samples) == len(
+        context["committed"]
+    )
+    assert series.p99_block >= series.p50_block >= 0
+
+
+def test_top_report_is_consistent_and_renders():
+    recorder, context = recorded("overload")
+    report = build_top(recorder.events, limit=3)
+    assert report.commits == context["committed"]
+    assert report.active == 0  # everything terminated by end of run
+    assert len(report.hottest_entities) <= 3
+    obj = json.loads(json.dumps(report.to_obj()))
+    assert obj["commits"] == report.commits
+    text = render_top(report)
+    assert "hottest entities" in text
+    assert f"repro top @ step {report.at}" in text
+
+
+def test_top_mid_run_sees_live_state():
+    recorder, context = recorded("overload")
+    report = build_top(recorder.events, at=context["steps"] // 2)
+    assert report.commits < context["committed"]
+    assert report.active > 0
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def test_cli_trace_smoke_exits_zero(capsys):
+    assert main(["trace", "--smoke", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "deterministic        True" in out
+    assert "span errors          0" in out
+
+
+def test_cli_trace_jsonl_to_file(tmp_path, capsys):
+    out_file = tmp_path / "trace.jsonl"
+    assert main(
+        ["trace", "--seed", "3", "--out", str(out_file)]
+    ) == 0
+    capsys.readouterr()
+    lines = out_file.read_text().splitlines()
+    assert lines
+    json.loads(lines[0])
+
+
+def test_cli_trace_chrome_stdout(capsys):
+    assert main(["trace", "--seed", "3", "--format", "chrome"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["traceEvents"]
+
+
+def test_cli_trace_summary(capsys):
+    assert main(["trace", "--seed", "3", "--format", "summary"]) == 0
+    out = capsys.readouterr().out
+    assert "fingerprint" in out
+    assert "block p50/p99" in out
+
+
+def test_cli_top(capsys):
+    assert main(["top", "--seed", "3"]) == 0
+    assert "repro top @ step" in capsys.readouterr().out
+
+
+def test_cli_top_json(capsys):
+    assert main(["top", "--seed", "3", "--json"]) == 0
+    obj = json.loads(capsys.readouterr().out)
+    assert "hottest_entities" in obj

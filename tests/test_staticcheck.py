@@ -39,7 +39,7 @@ def lint_fixture(name, select=None):
 
 def test_rule_catalogue_matches_checkers():
     assert [rule for rule, _ in all_rules()] == [
-        "RR001", "RR002", "RR003", "RR004",
+        "RR001", "RR002", "RR003", "RR004", "RR005",
     ]
 
 
@@ -138,6 +138,30 @@ def test_rr004_flags_unseeded_and_ambient_constructions():
     assert "never passed in" in messages
 
 
+# -- RR005: metrics mutation discipline --------------------------------------
+
+
+def test_rr005_flags_direct_counter_mutation_only():
+    report = lint_fixture("rr005_metrics.py")
+    assert {f.rule for f in report.findings} == {"RR005"}
+    assert len(report.findings) == 3
+    messages = " | ".join(f.message for f in report.findings)
+    assert "'rollbacks'" in messages   # augmented assign on .metrics
+    assert "'commits'" in messages     # plain assign on a bare name
+    assert "'blocks'" in messages      # deep attribute chain
+    # bump() calls, whole-object replacement, and reads stay unflagged
+    lines = (FIXTURES / "rr005_metrics.py").read_text().splitlines()
+    for finding in report.findings:
+        assert "violation" in lines[finding.line - 1]
+
+
+def test_rr005_is_quiet_on_the_real_tree():
+    report = run_lint(
+        [Path("src/repro")], default_checkers(), select=["RR005"]
+    )
+    assert report.findings == []
+
+
 # -- noqa pragmas ------------------------------------------------------------
 
 
@@ -165,7 +189,7 @@ def test_cli_lint_clean_tree_exits_zero(capsys):
 @pytest.mark.parametrize(
     "fixture",
     ["rr001_hazards.py", "rr002_locks.py", "rr003_registration.py",
-     "rr004_seeding.py", "noqa.py"],
+     "rr004_seeding.py", "rr005_metrics.py", "noqa.py"],
 )
 def test_cli_lint_fixture_exits_nonzero(fixture, capsys):
     assert main(["lint", str(FIXTURES / fixture)]) == 1
