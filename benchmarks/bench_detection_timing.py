@@ -11,11 +11,17 @@ work.
 Measured: resolved deadlocks, blocked-steps accumulated by deadlock
 members before detection, makespan, and lost states, across sweep
 intervals vs the on-block baseline.
+
+Run as a script with ``--json BENCH_scale.json`` to record the ablation
+totals as the ``detection_timing`` section of the committed perf
+trajectory (see docs/PERFORMANCE.md).
 """
 
+import argparse
 import random
 
 from conftest import report
+import perfjson
 
 from repro import Scheduler
 from repro.core.periodic import PeriodicDetectionScheduler
@@ -103,3 +109,36 @@ def test_detection_timing(benchmark):
     benchmark.extra_info.update({
         row["mode"]: row["blocked_at_detect"] for row in rows
     })
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the detection-timing ablation; optionally "
+        "record the totals into a perf trajectory file."
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write the totals as the 'detection_timing' section",
+    )
+    parser.add_argument(
+        "--recorded",
+        default="",
+        help="provenance stamp stored with the written section",
+    )
+    args = parser.parse_args(argv)
+    rows = sweep_experiment()
+    report(
+        "E14 — detection timing: on-block vs periodic sweeps (4 seeds)",
+        rows,
+    )
+    if args.json:
+        perfjson.update_section(
+            args.json, "detection_timing", rows, recorded=args.recorded
+        )
+        print(f"wrote section 'detection_timing' to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,14 +5,27 @@ than the authors' hardware, so absolute timings are not comparable to any
 real DBMS; this bench calibrates what the simulator itself sustains —
 simulation steps per second across system sizes — and verifies that the
 scheduler's work per step stays near-constant as the system grows (the
-detection path is the only super-constant piece, and it only runs on
-blocks).
+detection path runs over the incrementally maintained waits-for graph,
+so its cost tracks the conflict neighbourhood, not the table).
+
+Besides the pytest shape test, this file is the perf-trajectory writer:
+
+    python benchmarks/bench_scale.py --json BENCH_scale.json
+
+runs the sweep and records rows (steps/sec, detection-time share,
+incremental-graph maintenance counters) into the committed trajectory
+file; CI replays it in ``--smoke`` mode and gates with ``--compare``
+(fail on >25% regression against the committed rows).  See
+docs/PERFORMANCE.md.
 """
 
+import argparse
 import random
+import sys
 import time
 
 from conftest import report
+import perfjson
 
 from repro import Scheduler
 from repro.simulation import (
@@ -22,6 +35,13 @@ from repro.simulation import (
     expected_final_state,
     generate_workload,
 )
+
+#: The full sweep: (n_transactions, n_entities) points, smallest first.
+SWEEP = [(10, 20), (50, 100), (100, 200), (200, 400)]
+
+#: Points re-measured by the CI smoke gate (kept small enough that the
+#: bench job stays in seconds).
+SMOKE_SWEEP = SWEEP[:2]
 
 
 def run_scale(n_transactions, n_entities, seed=0):
@@ -35,8 +55,22 @@ def run_scale(n_transactions, n_entities, seed=0):
     db, programs = generate_workload(config, seed=seed)
     expected = expected_final_state(db, programs)
     scheduler = Scheduler(db, strategy="mcs", policy="ordered-min-cost")
+    timing = {"seconds": 0.0, "checks": 0}
+    inner_check = scheduler.detector.check
+
+    def timed_check(requester):
+        timing["checks"] += 1
+        t0 = time.perf_counter()
+        try:
+            return inner_check(requester)
+        finally:
+            timing["seconds"] += time.perf_counter() - t0
+
+    scheduler.detector.check = timed_check
     engine = SimulationEngine(
-        scheduler, RandomInterleaving(rng=random.Random(seed + 1)), max_steps=5_000_000,
+        scheduler,
+        RandomInterleaving(rng=random.Random(seed + 1)),
+        max_steps=5_000_000,
     )
     for program in programs:
         engine.add(program)
@@ -50,17 +84,17 @@ def run_scale(n_transactions, n_entities, seed=0):
         "steps": result.steps,
         "deadlocks": result.metrics.deadlocks,
         "seconds": round(elapsed, 3),
-        "steps_per_sec": int(result.steps / elapsed) if elapsed else 0,
+        "steps_per_sec": perfjson.rate(result.steps, elapsed),
+        "detection_share": round(
+            timing["seconds"] / max(elapsed, perfjson.MIN_ELAPSED), 3
+        ),
+        "detection_checks": timing["checks"],
+        "graph_counters": result.graph_counters,
     }
 
 
-def scale_sweep():
-    return [
-        run_scale(10, 20),
-        run_scale(50, 100),
-        run_scale(100, 200),
-        run_scale(200, 400),
-    ]
+def scale_sweep(points=SWEEP):
+    return [run_scale(n_txns, n_entities) for n_txns, n_entities in points]
 
 
 def test_simulator_scale(benchmark):
@@ -70,9 +104,17 @@ def test_simulator_scale(benchmark):
     rates = [row["steps_per_sec"] for row in rows]
     assert min(rates) > 0
     assert max(rates) / min(rates) < 60
+    # Shape: incremental maintenance is balanced (every edge added is
+    # eventually removed: the run ends with an empty waits-for graph).
+    for row in rows:
+        counters = row["graph_counters"]
+        assert counters["edges_added"] == counters["edges_removed"]
     report(
         "E15 — simulator throughput vs system size",
-        rows,
+        [
+            {k: v for k, v in row.items() if k != "graph_counters"}
+            for row in rows
+        ],
         paper_note=(
             "calibration of the Python substrate (repro band: 'works but "
             "concurrency simulation slower'); absolute times are not "
@@ -83,3 +125,82 @@ def test_simulator_scale(benchmark):
         f"rate@{row['transactions']}txns": row["steps_per_sec"]
         for row in rows
     })
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=(
+            "Run the scale sweep; optionally record it into a perf "
+            "trajectory file and/or gate against a committed one."
+        )
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write the measured rows into this trajectory file",
+    )
+    parser.add_argument(
+        "--section",
+        default="current",
+        help="section name to write (default: current)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"only the {len(SMOKE_SWEEP)} smallest sweep points",
+    )
+    parser.add_argument(
+        "--compare",
+        metavar="PATH",
+        help="gate the measured rows against this committed trajectory",
+    )
+    parser.add_argument(
+        "--compare-section",
+        default="current",
+        help="section of the committed file to gate against",
+    )
+    parser.add_argument(
+        "--gate",
+        type=float,
+        default=perfjson.DEFAULT_TOLERANCE,
+        help="allowed fractional regression (default: 0.25)",
+    )
+    parser.add_argument(
+        "--recorded",
+        default="",
+        help="provenance stamp stored with the written section",
+    )
+    args = parser.parse_args(argv)
+
+    points = SMOKE_SWEEP if args.smoke else SWEEP
+    rows = scale_sweep(points)
+    report(
+        "bench_scale sweep",
+        [
+            {k: v for k, v in row.items() if k != "graph_counters"}
+            for row in rows
+        ],
+    )
+    if args.json:
+        perfjson.update_section(
+            args.json, args.section, rows, recorded=args.recorded
+        )
+        print(f"wrote section {args.section!r} to {args.json}")
+    if args.compare:
+        committed = perfjson.section_rows(
+            perfjson.load(args.compare), args.compare_section
+        )
+        failures = perfjson.gate(rows, committed, tolerance=args.gate)
+        if failures:
+            for failure in failures:
+                print(f"PERF GATE FAIL: {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"perf gate OK: {len(rows)} row(s) within {args.gate:.0%} of "
+            f"{args.compare}:{args.compare_section}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,133 @@
+"""Shared helpers for the tracked perf trajectory (``BENCH_scale.json``).
+
+The perf trajectory is a committed JSON file with named *sections*, each
+holding the rows one benchmark run produced (``bench_scale`` throughput
+rows, the detection-timing ablation totals).  Benchmarks write sections
+through :func:`update_section`; CI replays the benchmark in smoke mode
+and applies :func:`gate` against the committed rows, failing the build
+on a >25% throughput regression.
+
+The file layout::
+
+    {
+      "benchmark": "repro perf trajectory",
+      "metric": "steps_per_sec",
+      "sections": {
+        "baseline_pre_incremental": {"recorded": ..., "rows": [...]},
+        "current": {"recorded": ..., "rows": [...]},
+        ...
+      }
+    }
+
+Rows are plain dicts; the gate matches rows across files by the
+``(transactions, entities)`` pair (falling back to list position when
+either row lacks the pair), so smoke runs that cover only a prefix of
+the full sweep gate against exactly the rows they re-measured.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+#: Minimum elapsed wall-clock used for rate computation — a monotonic
+#: floor so a pathologically fast (or clock-granularity-zero) run yields
+#: a huge-but-finite rate instead of a divide-by-zero or a bogus 0.
+MIN_ELAPSED = 1e-9
+
+#: Default allowed regression: current may be at most this fraction
+#: below the committed rows before the gate fails.
+DEFAULT_TOLERANCE = 0.25
+
+
+def rate(steps: int, elapsed: float) -> int:
+    """Steps/second with the monotonic elapsed floor applied."""
+    return int(steps / max(elapsed, MIN_ELAPSED))
+
+
+def load(path: str | Path) -> dict:
+    """Read a trajectory file; missing file => empty skeleton."""
+    path = Path(path)
+    if not path.exists():
+        return {
+            "benchmark": "repro perf trajectory",
+            "metric": "steps_per_sec",
+            "sections": {},
+        }
+    with path.open() as handle:
+        return json.load(handle)
+
+
+def update_section(
+    path: str | Path,
+    section: str,
+    rows: list[dict],
+    recorded: str = "",
+    note: str = "",
+) -> dict:
+    """Read-modify-write one section of the trajectory file."""
+    data = load(path)
+    payload: dict = {"rows": rows}
+    if recorded:
+        payload["recorded"] = recorded
+    if note:
+        payload["note"] = note
+    data.setdefault("sections", {})[section] = payload
+    with Path(path).open("w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return data
+
+
+def section_rows(data: dict, section: str) -> list[dict]:
+    """Rows of *section*, or an empty list."""
+    return list(data.get("sections", {}).get(section, {}).get("rows", []))
+
+
+def _row_key(row: dict, position: int):
+    if "transactions" in row and "entities" in row:
+        return (row["transactions"], row["entities"])
+    return ("#", position)
+
+
+def gate(
+    current: list[dict],
+    committed: list[dict],
+    metric: str = "steps_per_sec",
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> list[str]:
+    """Compare freshly measured rows against committed ones.
+
+    Returns a list of human-readable failure messages — empty means the
+    gate passes.  Only rows present in *both* lists are compared (a smoke
+    run gates against the subset it re-measured); a committed row the
+    current run skipped is not a failure, but a current row with no
+    committed counterpart is reported so the baseline never silently
+    falls out of date.
+    """
+    failures: list[str] = []
+    committed_by_key = {
+        _row_key(row, i): row for i, row in enumerate(committed)
+    }
+    for i, row in enumerate(current):
+        key = _row_key(row, i)
+        reference = committed_by_key.get(key)
+        if reference is None:
+            failures.append(
+                f"{key}: no committed row to gate against — refresh the "
+                f"trajectory file (run with --json <committed-file>)"
+            )
+            continue
+        measured = row.get(metric)
+        expected = reference.get(metric)
+        if measured is None or expected is None:
+            failures.append(f"{key}: missing metric {metric!r}")
+            continue
+        floor = expected * (1.0 - tolerance)
+        if measured < floor:
+            failures.append(
+                f"{key}: {metric} {measured} is more than "
+                f"{tolerance:.0%} below committed {expected} "
+                f"(floor {floor:.0f})"
+            )
+    return failures

@@ -16,9 +16,13 @@ through the requester:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..graphs.concurrency import ConcurrencyGraph
 from ..locking.table import LockTable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..graphs.incremental import IncrementalWaitsFor
 
 TxnId = str
 
@@ -65,6 +69,13 @@ class Deadlock:
 class DeadlockDetector:
     """Cycle detection against a live lock table.
 
+    Detection runs over the table's *continuously maintained* waits-for
+    graph (:attr:`~repro.locking.table.LockTable.waits_for`): the common
+    no-deadlock wait is answered by a DFS from the requester over interned
+    integer adjacency, so its cost scales with the conflict neighbourhood,
+    not with lock-table size.  :meth:`snapshot` keeps the from-scratch
+    rebuild as the differential oracle.
+
     ``cycle_limit`` bounds the per-detection enumeration of simple cycles
     (their number can be exponential at high contention).  Victim
     selection optimises over the enumerated cycles; the scheduler's
@@ -81,18 +92,40 @@ class DeadlockDetector:
         """The per-detection cap on enumerated simple cycles."""
         return self._cycle_limit
 
+    @property
+    def waits_for(self) -> "IncrementalWaitsFor":
+        """The live incrementally-maintained waits-for graph."""
+        return self._table.waits_for
+
     def check(self, requester: TxnId) -> Deadlock | None:
         """Detect deadlock after *requester* received a wait response.
 
         Returns a :class:`Deadlock` covering every cycle through the
-        requester, or ``None`` when the wait is safe.
+        requester, or ``None`` when the wait is safe.  Only a confirmed
+        cycle pays for enumeration and graph materialisation; the cycles
+        (and their order) are identical to a full-rebuild detection, so
+        victim selection — and therefore every seeded run — is unchanged.
         """
-        graph = ConcurrencyGraph.from_lock_table(self._table)
-        cycles = graph.cycles_through(requester, limit=self._cycle_limit)
+        live = self._table.waits_for
+        cycles = live.cycles_through(requester, limit=self._cycle_limit)
         if not cycles:
             return None
-        return Deadlock(requester=requester, cycles=cycles, graph=graph)
+        return Deadlock(
+            requester=requester, cycles=cycles, graph=live.materialize()
+        )
+
+    def find_any_cycle(self) -> list[TxnId] | None:
+        """Some cycle anywhere in the live graph, or ``None`` (used by the
+        scheduler's residual pass after a capped resolution)."""
+        return self._table.waits_for.find_any_cycle()
+
+    def live_graph(self) -> ConcurrencyGraph:
+        """Materialise the live waits-for graph (arc-set equal to
+        :meth:`snapshot`, without rescanning the lock table)."""
+        return self._table.waits_for.materialize()
 
     def snapshot(self) -> ConcurrencyGraph:
-        """Current concurrency graph (for metrics and invariant checks)."""
+        """Current concurrency graph, rebuilt from the lock table — the
+        differential oracle the incremental structure is checked against
+        (``graph-consistency`` in :mod:`repro.verification.oracles`)."""
         return ConcurrencyGraph.from_lock_table(self._table)

@@ -80,7 +80,10 @@ class PeriodicDetectionScheduler(Scheduler):
         self.sweeps += 1
         resolved = 0
         while True:
-            graph = ConcurrencyGraph.from_lock_table(self.lock_manager.table)
+            live = self.lock_manager.table.waits_for
+            if live.find_any_cycle() is None:
+                break  # cheap existence gate: no rebuild on idle sweeps
+            graph = live.materialize()
             cycle = self._any_cycle(graph)
             if cycle is None:
                 break

@@ -145,6 +145,15 @@ class Scheduler:
         #: installed by a recovery manager; when present, lock grants, value
         #: installations, commits, and rollbacks are logged before they apply.
         self.wal: WriteAheadLog | None = None
+        # Incremental copies accounting: re-summing every transaction's
+        # copy count each step is the simulator's dominant cost at scale,
+        # so a running sum is maintained instead and only transactions the
+        # strategy actually touched this step are recounted.
+        # ``_copies_total()`` stays as the from-scratch differential
+        # oracle.
+        self._copies_cache: dict[TxnId, int] = {}
+        self._copies_sum = 0
+        self._copies_dirty: set[TxnId] = set()
         #: When True (default), a :class:`~repro.errors.StorageFault` raised
         #: by the strategy during a rollback degrades the victim to a total
         #: restart instead of propagating (graceful degradation).
@@ -167,6 +176,7 @@ class Scheduler:
         txn = Transaction(program=program, entry_order=self._entry_counter)
         self.transactions[program.txn_id] = txn
         self.strategy.begin(txn)
+        self._copies_dirty.add(program.txn_id)
         if self.bus:
             self.bus.publish(
                 EventKind.TXN_ADMIT,
@@ -246,7 +256,8 @@ class Scheduler:
             result = StepResult(txn_id, StepOutcome.ADVANCED)
         else:  # pragma: no cover - programs are validated at construction
             raise SimulationError(f"unknown operation {op!r}")
-        self.metrics.observe_copies(self._copies_total())
+        self._copies_dirty.add(txn_id)
+        self.metrics.observe_copies(self._flush_copies())
         return result
 
     def run_until_quiescent(self, max_steps: int = 1_000_000) -> None:
@@ -339,6 +350,7 @@ class Scheduler:
                 f"its pending request"
             )
         record.granted = True
+        self._copies_dirty.add(grant.txn)
         self.metrics.bump("locks_granted")
         if self.bus:
             self.bus.publish(
@@ -389,6 +401,7 @@ class Scheduler:
         grants = self.lock_manager.finish(txn.txn_id)
         self.strategy.on_finish(txn)
         txn.status = TxnStatus.COMMITTED
+        self._copies_dirty.add(txn.txn_id)
         self.metrics.bump("commits")
         if self.bus:
             self.bus.publish(
@@ -478,10 +491,10 @@ class Scheduler:
         """
         actions: list[RollbackAction] = []
         while True:
-            graph = self.detector.snapshot()
-            cycle = graph.find_any_cycle()
+            cycle = self.detector.find_any_cycle()
             if cycle is None:
                 return actions
+            graph = self.detector.live_graph()
             nominal = max(
                 cycle, key=lambda t: self.transactions[t].entry_order
             )
@@ -568,6 +581,7 @@ class Scheduler:
             target_ordinal = 0
             states_lost = txn.state_index
         txn.apply_rollback(target_ordinal)
+        self._copies_dirty.add(txn_id)
         if self.wal is not None:
             self.wal.log_rollback(txn_id, target_ordinal)
         self.metrics.record_rollback(
@@ -608,6 +622,7 @@ class Scheduler:
         grants += self.lock_manager.release_for_rollback(txn.txn_id, held)
         self.strategy.on_finish(txn)
         txn.status = TxnStatus.SHED
+        self._copies_dirty.add(txn_id)
         self.preemption_immune.discard(txn_id)
         self.metrics.record_shed(txn_id, reason)
         if self.bus:
@@ -648,7 +663,26 @@ class Scheduler:
 
     # -- accounting -----------------------------------------------------------
 
+    def _flush_copies(self) -> int:
+        """Running copies total, recounting only touched transactions.
+
+        Equal to :meth:`_copies_total` after every step (asserted by the
+        differential tests); O(transactions touched this step) instead of
+        O(all live transactions).
+        """
+        if self._copies_dirty:
+            cache = self._copies_cache
+            for txn_id in self._copies_dirty:
+                txn = self.transactions[txn_id]
+                count = 0 if txn.done else self.strategy.copies_count(txn)
+                self._copies_sum += count - cache.get(txn_id, 0)
+                cache[txn_id] = count
+            self._copies_dirty.clear()
+        return self._copies_sum
+
     def _copies_total(self) -> int:
+        """From-scratch recount (the oracle :meth:`_flush_copies` must
+        agree with)."""
         return sum(
             self.strategy.copies_count(txn)
             for txn in self.transactions.values()

@@ -234,11 +234,9 @@ class DistributedScheduler(Scheduler):
         nothing waits on it (it is merely slow, not deadlocking anyone),
         the timer is reset instead of rolling back.
         """
+        live = self.lock_manager.table.waits_for.materialize()
         waited_entities = {
-            arc.entity
-            for arc in ConcurrencyGraph.from_lock_table(
-                self.lock_manager.table
-            ).holds_waited_on(txn.txn_id)
+            arc.entity for arc in live.holds_waited_on(txn.txn_id)
         }
         if not waited_entities:
             self._blocked_since[txn.txn_id] = self._clock
@@ -361,7 +359,7 @@ class DistributedScheduler(Scheduler):
         """Site-local detection: only cycles whose arcs all lie on one site
         are visible (the paper's 'deadlocks involving only a single site
         may be treated using the above means')."""
-        full = ConcurrencyGraph.from_lock_table(self.lock_manager.table)
+        full = self.lock_manager.table.waits_for.materialize()
         entity = self.lock_manager.waiting_on(requester)
         if entity is None:
             return None
@@ -446,7 +444,7 @@ class DistributedScheduler(Scheduler):
         """Younger requester dies (partially) instead of waiting."""
         if all(txn.entry_order < b.entry_order for b in cross):
             return False  # older than every cross-site blocker: may wait
-        graph = ConcurrencyGraph.from_lock_table(self.lock_manager.table)
+        graph = self.lock_manager.table.waits_for.materialize()
         waited = {
             arc.entity for arc in graph.holds_waited_on(txn.txn_id)
         }
@@ -477,7 +475,7 @@ class DistributedScheduler(Scheduler):
         partially rolling back the initiator (the CMH convention), far
         enough to release everything the cycle waits on it for.
         """
-        graph = ConcurrencyGraph.from_lock_table(self.lock_manager.table)
+        graph = self.lock_manager.table.waits_for.materialize()
         # BFS along waiter -> blocker edges starting from the initiator.
         adjacency: dict[TxnId, set[TxnId]] = {}
         for arc in graph.arcs:

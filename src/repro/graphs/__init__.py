@@ -1,11 +1,15 @@
-"""Graph layer: concurrency (waits-for) graphs, state-dependency graphs,
-and the underlying algorithms."""
+"""Graph layer: concurrency (waits-for) graphs, the incrementally
+maintained waits-for structure, state-dependency graphs, and the
+underlying algorithms."""
 
 from .concurrency import ConcurrencyGraph, WaitArc
+from .incremental import IncrementalWaitsFor, Interner
 from .state_dependency import StateDependencyGraph, WriteEdge
 
 __all__ = [
     "ConcurrencyGraph",
+    "IncrementalWaitsFor",
+    "Interner",
     "StateDependencyGraph",
     "WaitArc",
     "WriteEdge",

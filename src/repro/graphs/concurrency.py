@@ -16,10 +16,12 @@ many cycles, all of which pass through the requesting transaction (§3.2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
-from ..locking.table import LockTable
 from . import algorithms
+
+if TYPE_CHECKING:  # import cycle: locking.table owns an IncrementalWaitsFor
+    from ..locking.table import LockTable
 
 TxnId = str
 EntityName = str

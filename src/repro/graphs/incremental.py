@@ -1,0 +1,308 @@
+"""Incrementally maintained waits-for graph.
+
+:class:`~repro.graphs.concurrency.ConcurrencyGraph.from_lock_table`
+rebuilds the whole waits-for relation from scratch, so detection cost
+scales with total lock-table size.  The paper's premise is the opposite:
+the system "maintains the concurrency graph continuously", which is what
+makes removal-at-every-conflict affordable.  :class:`IncrementalWaitsFor`
+is that continuously maintained structure.
+
+Design
+------
+The lock table owns one instance and calls :meth:`refresh_entity` after
+every mutation of an entity's lock state (grant, block, release wake-up,
+queue cancellation).  All waits-for edges of an entity are a pure function
+of that entity's ``(holders, queue)`` pair — conflict edges from
+incompatible holders plus FIFO queue-order edges between incompatible
+queued requests — so the refresh recomputes only *that entity's* edge set
+and diffs it against the previous one.  Maintenance cost therefore scales
+with the contended entity, never with the table.
+
+Transaction and entity ids are interned to dense integer indices
+(:class:`Interner`), and the live adjacency is kept over those indices, so
+the hot cycle check is a DFS over small-int sets with no string hashing.
+Reachability answers (``None`` / existence) are order-independent, so the
+fast integer DFS is exact; the rare *enumeration* paths (an actual
+deadlock, the residual sweep) re-run over a name-keyed adjacency that is
+byte-for-byte the input the full rebuild would have produced — same
+cycles, same order, same victims.  Same seed, same outcome, either path.
+
+The structure never invents state: :meth:`materialize` exports a plain
+:class:`~repro.graphs.concurrency.ConcurrencyGraph`, and the
+``graph-consistency`` oracle (:mod:`repro.verification.oracles`) asserts
+arc-set equality with a from-scratch rebuild after every engine step.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Protocol, Sequence
+
+from . import algorithms
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .concurrency import ConcurrencyGraph
+
+TxnId = str
+EntityName = str
+
+
+class ModeLike(Protocol):
+    """Anything with the lock-mode compatibility test (structural, so this
+    module needs no runtime import from :mod:`repro.locking`)."""
+
+    def compatible_with(self, other: Any) -> bool:
+        """True when the two modes can be held concurrently."""
+        ...  # pragma: no cover - protocol
+
+
+class QueuedLike(Protocol):
+    """A queued lock request: transaction id plus requested mode."""
+
+    @property
+    def txn(self) -> str: ...  # pragma: no cover - protocol
+
+    @property
+    def mode(self) -> ModeLike: ...  # pragma: no cover - protocol
+
+
+class Interner:
+    """Bidirectional string <-> dense-index map (first-seen order).
+
+    Indices are assigned 0, 1, 2, ... in first-intern order, which is
+    deterministic because every caller mutates the lock table in a
+    deterministic order.
+    """
+
+    __slots__ = ("_index_of", "_names")
+
+    def __init__(self) -> None:
+        self._index_of: dict[str, int] = {}
+        self._names: list[str] = []
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def index(self, name: str) -> int:
+        """Index for *name*, interning it on first sight."""
+        idx = self._index_of.get(name)
+        if idx is None:
+            idx = len(self._names)
+            self._index_of[name] = idx
+            self._names.append(name)
+        return idx
+
+    def get(self, name: str) -> int | None:
+        """Index for *name* if already interned, else ``None``."""
+        return self._index_of.get(name)
+
+    def name(self, index: int) -> str:
+        """Inverse lookup."""
+        return self._names[index]
+
+
+class IncrementalWaitsFor:
+    """Live waits-for graph, updated per contended entity.
+
+    Invariant (checked by the differential tests and the
+    ``graph-consistency`` oracle): the arc set always equals
+    ``ConcurrencyGraph.from_lock_table(table)``'s arc set for the owning
+    lock table.
+    """
+
+    def __init__(self) -> None:
+        self._txns = Interner()
+        self._entities = Interner()
+        #: entity index -> its current (holder, waiter) pairs.
+        self._entity_edges: dict[int, set[tuple[int, int]]] = {}
+        #: (holder, waiter) -> entity indices labeling the arc.
+        self._pair_labels: dict[tuple[int, int], set[int]] = {}
+        #: holder -> waiters (interned); the DFS substrate.
+        self._succ: dict[int, set[int]] = {}
+        #: Maintenance/query counters for the perf trajectory
+        #: (``BENCH_scale.json`` records them per run).
+        self.counters: dict[str, int] = {
+            "refreshes": 0,
+            "edges_added": 0,
+            "edges_removed": 0,
+            "cycle_checks": 0,
+            "enumerations": 0,
+            "materializations": 0,
+        }
+
+    # -- maintenance (called by the lock table) ---------------------------
+
+    def refresh_entity(
+        self,
+        entity: EntityName,
+        holders: Mapping[str, ModeLike],
+        queue: Sequence[QueuedLike],
+    ) -> None:
+        """Recompute *entity*'s edges from its live lock state and diff.
+
+        Mirrors :meth:`repro.locking.table.LockTable.wait_edges` for one
+        entity: an edge runs holder -> waiter for every incompatible
+        holder, and earlier-waiter -> later-waiter for every incompatible
+        pair of queued requests (FIFO order blocking).  No queue means no
+        edges, so uncontended entities cost one dict probe.
+        """
+        eid = self._entities.index(entity)
+        current = self._entity_edges.get(eid)
+        if not queue and not current:
+            return
+        self.counters["refreshes"] += 1
+        desired: set[tuple[int, int]] = set()
+        if queue:
+            intern = self._txns.index
+            holder_pairs = [
+                (intern(txn), mode) for txn, mode in holders.items()
+            ]
+            earlier: list[tuple[int, ModeLike]] = []
+            for request in queue:
+                waiter = intern(request.txn)
+                mode = request.mode
+                for holder, held in holder_pairs:
+                    if not held.compatible_with(mode):
+                        desired.add((holder, waiter))
+                for ahead, ahead_mode in earlier:
+                    if not ahead_mode.compatible_with(mode):
+                        desired.add((ahead, waiter))
+                earlier.append((waiter, mode))
+        if current:
+            for pair in current - desired:
+                self._remove_edge(pair, eid)
+            for pair in desired - current:
+                self._add_edge(pair, eid)
+        else:
+            for pair in desired:
+                self._add_edge(pair, eid)
+        if desired:
+            self._entity_edges[eid] = desired
+        else:
+            self._entity_edges.pop(eid, None)
+
+    def _add_edge(self, pair: tuple[int, int], eid: int) -> None:
+        labels = self._pair_labels.get(pair)
+        if labels is None:
+            labels = self._pair_labels[pair] = set()
+            self._succ.setdefault(pair[0], set()).add(pair[1])
+        labels.add(eid)
+        self.counters["edges_added"] += 1
+
+    def _remove_edge(self, pair: tuple[int, int], eid: int) -> None:
+        labels = self._pair_labels.get(pair)
+        if labels is None:
+            return
+        labels.discard(eid)
+        self.counters["edges_removed"] += 1
+        if not labels:
+            del self._pair_labels[pair]
+            waiters = self._succ.get(pair[0])
+            if waiters is not None:
+                waiters.discard(pair[1])
+                if not waiters:
+                    del self._succ[pair[0]]
+
+    # -- views ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of distinct labeled arcs."""
+        return sum(len(labels) for labels in self._pair_labels.values())
+
+    def arcs(self) -> set[tuple[TxnId, TxnId, EntityName]]:
+        """All ``(holder, waiter, entity)`` triples, by name."""
+        txn = self._txns.name
+        ent = self._entities.name
+        return {
+            (txn(holder), txn(waiter), ent(eid))
+            for (holder, waiter), labels in self._pair_labels.items()
+            for eid in labels
+        }
+
+    def transactions(self) -> set[TxnId]:
+        """Vertices induced by the current arcs."""
+        txn = self._txns.name
+        nodes: set[TxnId] = set()
+        for holder, waiter in self._pair_labels:
+            nodes.add(txn(holder))
+            nodes.add(txn(waiter))
+        return nodes
+
+    def adjacency(self) -> dict[TxnId, set[TxnId]]:
+        """Name-keyed successor map (holder -> waiters).
+
+        Identical to the adjacency a full rebuild would produce, so the
+        enumeration algorithms return cycles in the same deterministic
+        order over either structure.
+        """
+        txn = self._txns.name
+        adj: dict[TxnId, set[TxnId]] = {}
+        for holder, waiters in self._succ.items():
+            adj[txn(holder)] = {txn(w) for w in waiters}
+        return adj
+
+    # -- queries (the detection hot path) ---------------------------------
+
+    def has_cycle_through(self, requester: TxnId) -> bool:
+        """Order-independent reachability gate: does any cycle pass
+        through *requester*?  Pure integer DFS over the live adjacency."""
+        self.counters["cycle_checks"] += 1
+        idx = self._txns.get(requester)
+        if idx is None or not self._succ.get(idx):
+            return False
+        return algorithms.find_cycle_through(self._succ, idx) is not None
+
+    def cycles_through(
+        self, requester: TxnId, limit: int = 10_000
+    ) -> list[list[TxnId]]:
+        """Simple cycles through *requester*, in rebuild-identical order.
+
+        The common no-deadlock case is answered by the integer fast path;
+        only a confirmed cycle pays for the name-keyed enumeration.
+        """
+        if not self.has_cycle_through(requester):
+            return []
+        self.counters["enumerations"] += 1
+        return algorithms.simple_cycles_through(
+            self.adjacency(), requester, limit
+        )
+
+    def find_any_cycle(self) -> list[TxnId] | None:
+        """Some cycle anywhere, or ``None`` (fast integer existence gate,
+        name-keyed rerun for the deterministic witness)."""
+        self.counters["cycle_checks"] += 1
+        if algorithms.find_cycle(self._succ) is None:
+            return None
+        cycle = algorithms.find_cycle(self.adjacency())
+        assert cycle is not None  # existence is order-independent
+        return cycle
+
+    def materialize(self) -> "ConcurrencyGraph":
+        """Export a :class:`~repro.graphs.concurrency.ConcurrencyGraph`
+        equal (as arc/vertex sets) to a from-scratch rebuild."""
+        from .concurrency import ConcurrencyGraph
+
+        self.counters["materializations"] += 1
+        graph = ConcurrencyGraph()
+        txn = self._txns.name
+        ent = self._entities.name
+        for (holder, waiter), labels in self._pair_labels.items():
+            for eid in labels:
+                graph.add_wait(txn(holder), txn(waiter), ent(eid))
+        return graph
+
+    def counters_snapshot(self) -> dict[str, int]:
+        """Copy of the maintenance/query counters."""
+        return dict(self.counters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        arcs = ", ".join(
+            f"{h}-[{e}]->{w}" for h, w, e in sorted(self.arcs())
+        )
+        return f"IncrementalWaitsFor({arcs})"
+
+
+def iter_arcs_sorted(
+    graph: IncrementalWaitsFor,
+) -> Iterable[tuple[TxnId, TxnId, EntityName]]:
+    """Deterministically ordered arc view (test/debug helper)."""
+    return sorted(graph.arcs())

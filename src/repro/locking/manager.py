@@ -83,10 +83,9 @@ class LockManager:
             raise ProtocolViolation(
                 f"{txn} cannot be rolled back: it already unlocked an entity"
             )
-        grants: list[Grant] = []
-        for entity in entities:
-            grants.extend(self.table.release(txn, entity))
-        return grants
+        # Batched: the victim's holderships drop first, then every
+        # affected entity wakes its waiters in one pass.
+        return self.table.release_many(txn, entities)
 
     def cancel_wait(self, txn: TxnId) -> list[Grant]:
         """Withdraw *txn*'s pending lock request (rollback of a waiter)."""

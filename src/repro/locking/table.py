@@ -8,6 +8,15 @@ it (:mod:`repro.core.detection`, :mod:`repro.core.scheduler`).
 Wait edges follow the paper's orientation: if transaction ``w`` is waiting
 to lock an entity locked by ``h``, the edge is ``h -> w`` (holder to
 waiter), labeled with the entity.
+
+The table also *continuously maintains* the waits-for graph (the paper's
+premise that makes detection-at-every-conflict affordable): every mutation
+of an entity's lock state refreshes that entity's edges in
+:attr:`LockTable.waits_for`, an
+:class:`~repro.graphs.incremental.IncrementalWaitsFor`.  Detection then
+searches the live structure; :func:`~repro.graphs.concurrency.
+ConcurrencyGraph.from_lock_table` remains the from-scratch oracle the
+``graph-consistency`` invariant checks it against.
 """
 
 from __future__ import annotations
@@ -16,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from ..errors import LockError
+from ..graphs.incremental import IncrementalWaitsFor
 from .modes import LockMode
 
 TxnId = str
@@ -62,6 +72,18 @@ class LockTable:
         self._held_by_txn: dict[TxnId, dict[EntityName, LockMode]] = {}
         self._waiting: dict[TxnId, EntityName] = {}
         self._seq = 0
+        #: Continuously maintained waits-for graph; every mutation of an
+        #: entity's lock state refreshes that entity's edges, so detection
+        #: never rescans the table.
+        self.waits_for = IncrementalWaitsFor()
+
+    def _refresh_waits(self, entity: EntityName) -> None:
+        """Re-derive *entity*'s waits-for edges from its current state."""
+        state = self._locks.get(entity)
+        if state is None:
+            self.waits_for.refresh_entity(entity, {}, ())
+        else:
+            self.waits_for.refresh_entity(entity, state.holders, state.queue)
 
     # -- inspection -------------------------------------------------------
 
@@ -168,11 +190,14 @@ class LockTable:
             held.compatible_with(mode) for held in state.holders.values()
         )
         if grantable:
+            # No queue, so the entity carries no waits-for edges either
+            # before or after the grant: nothing to refresh.
             self._grant(txn, entity, mode)
             return True
         self._seq += 1
         state.queue.append(QueuedRequest(txn, mode, self._seq))
         self._waiting[txn] = entity
+        self._refresh_waits(entity)
         return False
 
     def _grant(self, txn: TxnId, entity: EntityName, mode: LockMode) -> None:
@@ -195,7 +220,37 @@ class LockTable:
         del self._held_by_txn[txn][entity]
         if not self._held_by_txn[txn]:
             del self._held_by_txn[txn]
-        return self._drain(entity)
+        grants = self._drain(entity)
+        self._refresh_waits(entity)
+        return grants
+
+    def release_many(
+        self, txn: TxnId, entities: Iterable[EntityName]
+    ) -> list[Grant]:
+        """Release several of *txn*'s locks in one batched pass.
+
+        All holderships are dropped first, then each affected entity's
+        queue is drained and its waits-for edges refreshed exactly once —
+        the single-pass wake-up a rollback's released entities get per
+        engine step.  Grant order (and thus the downstream wake-up order)
+        matches sequential :meth:`release` calls over the same list.
+        Duplicate entries release once (a release is not re-issuable).
+        """
+        entities = list(dict.fromkeys(entities))
+        for entity in entities:
+            if self.holds(txn, entity) is None:
+                raise LockError(f"{txn} holds no lock on {entity!r}")
+        held = self._held_by_txn.get(txn, {})
+        for entity in entities:
+            del self._locks[entity].holders[txn]
+            del held[entity]
+        if txn in self._held_by_txn and not self._held_by_txn[txn]:
+            del self._held_by_txn[txn]
+        grants: list[Grant] = []
+        for entity in entities:
+            grants.extend(self._drain(entity))
+            self._refresh_waits(entity)
+        return grants
 
     def _drain(self, entity: EntityName) -> list[Grant]:
         """Grant queued requests from the front while compatible."""
@@ -229,11 +284,14 @@ class LockTable:
             return []
         state = self._locks[entity]
         state.queue = [r for r in state.queue if r.txn != txn]
-        return self._drain(entity)
+        grants = self._drain(entity)
+        self._refresh_waits(entity)
+        return grants
 
     def release_all(self, txn: TxnId) -> list[Grant]:
         """Release every lock *txn* holds and cancel any queued request."""
         grants = self.cancel_wait(txn)
-        for entity in list(self._held_by_txn.get(txn, {})):
-            grants.extend(self.release(txn, entity))
+        grants.extend(
+            self.release_many(txn, list(self._held_by_txn.get(txn, {})))
+        )
         return grants

@@ -49,6 +49,10 @@ class SimulationResult:
     #: Transactions removed by the overload guard without committing
     #: (deadline ladder's last rung), sorted by id.
     shed: list[str] = field(default_factory=list)
+    #: Incremental waits-for maintenance/query counters for the run
+    #: (:attr:`repro.graphs.incremental.IncrementalWaitsFor.counters`);
+    #: ``bench_scale`` records them into ``BENCH_scale.json``.
+    graph_counters: dict[str, int] = field(default_factory=dict)
 
     @property
     def all_committed(self) -> bool:
@@ -266,6 +270,10 @@ class SimulationEngine:
                 txn_id
                 for txn_id, txn in self.scheduler.transactions.items()
                 if txn.status is TxnStatus.SHED
+            ),
+            graph_counters=(
+                self.scheduler.lock_manager.table.waits_for
+                .counters_snapshot()
             ),
         )
 

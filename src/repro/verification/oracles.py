@@ -40,6 +40,15 @@ Oracles and their provenance:
     metrics — within a bounded number of engine steps of admission.  A
     transaction still live past the bound, or a shed with no recorded
     reason, is starvation the admission machinery failed to prevent.
+``graph-consistency``
+    Differential contract of the incremental waits-for structure
+    (:class:`~repro.graphs.incremental.IncrementalWaitsFor`): after every
+    step its arc and vertex sets equal a from-scratch
+    :meth:`~repro.graphs.concurrency.ConcurrencyGraph.from_lock_table`
+    rebuild, and the scheduler's running copies total equals a full
+    recount.  Any divergence means a lock-table mutation path (grant,
+    block, release wake-up, rollback cancellation, shed) failed to
+    maintain the live structure.
 """
 
 from __future__ import annotations
@@ -356,6 +365,53 @@ class NoStarvationOracle(Oracle):
                 )
 
 
+class GraphConsistencyOracle(Oracle):
+    """Incremental waits-for graph == from-scratch rebuild, every step.
+
+    The incremental structure is the detection hot path; this oracle is
+    the harness that keeps it honest: arcs, induced vertices, and the
+    incremental copies accounting are all compared against their
+    full-rebuild oracles after every completed step (including rollback
+    and SHED paths, which exercise the batched ``release_many`` wake-up).
+    """
+
+    name = "graph-consistency"
+
+    def check(self, scheduler: Scheduler, event: TraceEvent) -> None:
+        table = scheduler.lock_manager.table
+        live = table.waits_for.arcs()
+        rebuilt_graph = scheduler.detector.snapshot()
+        rebuilt = {
+            (arc.holder, arc.waiter, arc.entity)
+            for arc in rebuilt_graph.arcs
+        }
+        if live != rebuilt:
+            self._fail(
+                f"incremental waits-for diverged from rebuild at step "
+                f"{event.step} ({event.txn_id} {event.outcome}): "
+                f"missing={sorted(rebuilt - live)} "
+                f"spurious={sorted(live - rebuilt)}",
+                event,
+            )
+        live_nodes = table.waits_for.transactions()
+        rebuilt_nodes = rebuilt_graph.transactions
+        if live_nodes != rebuilt_nodes:
+            self._fail(
+                f"incremental vertex set diverged at step {event.step}: "
+                f"missing={sorted(rebuilt_nodes - live_nodes)} "
+                f"spurious={sorted(live_nodes - rebuilt_nodes)}",
+                event,
+            )
+        running = scheduler._flush_copies()
+        recounted = scheduler._copies_total()
+        if running != recounted:
+            self._fail(
+                f"incremental copies total {running} != recount "
+                f"{recounted} at step {event.step}",
+                event,
+            )
+
+
 #: Policies whose victim choice respects a time-invariant partial order
 #: (the requester itself, or a strictly later entrant).  For these the
 #: ``preemption-order`` and ``livelock-free`` oracles apply.
@@ -376,6 +432,7 @@ _ORACLE_TYPES: dict[str, type[Oracle]] = {
     LockTableConsistencyOracle.name: LockTableConsistencyOracle,
     PreemptionOrderOracle.name: PreemptionOrderOracle,
     NoStarvationOracle.name: NoStarvationOracle,
+    GraphConsistencyOracle.name: GraphConsistencyOracle,
 }
 
 

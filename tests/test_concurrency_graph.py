@@ -152,6 +152,52 @@ class TestDetectionPrimitives:
         assert {a.waiter for a in g.holds_waited_on("T1")} == {"T2"}
 
 
+class TestEnumerationCaps:
+    """cycles_through truncation and the residual-pass primitive."""
+
+    def make_parallel_cycles(self, n: int) -> ConcurrencyGraph:
+        """*n* disjoint 2-cycles all passing through R (via n partners)."""
+        g = ConcurrencyGraph()
+        for i in range(n):
+            g.add_wait("R", f"T{i}", f"r{i}")   # T_i waits for R
+            g.add_wait(f"T{i}", "R", f"e{i}")   # R waits for T_i
+        return g
+
+    def test_cycles_through_respects_limit(self):
+        g = self.make_parallel_cycles(10)
+        assert len(g.cycles_through("R")) == 10
+        truncated = g.cycles_through("R", limit=3)
+        assert len(truncated) == 3
+        for cycle in truncated:
+            assert cycle[0] == "R"
+
+    def test_truncation_keeps_enumeration_prefix(self):
+        """A capped enumeration is a prefix of the full one, so a capped
+        resolution is deterministic too."""
+        g = self.make_parallel_cycles(10)
+        assert g.cycles_through("R", limit=4) == g.cycles_through("R")[:4]
+
+    def test_find_any_cycle_on_capped_residual(self):
+        """After a capped resolution removes the victim, cycles *not*
+        through the original requester can remain; the residual pass
+        finds them with find_any_cycle."""
+        g = ConcurrencyGraph()
+        g.add_wait("A", "B", "x")
+        g.add_wait("B", "A", "y")   # cycle disjoint from R
+        g.add_wait("R", "C", "z")   # R blocks C, no cycle through R
+        assert g.cycles_through("R") == []
+        cycle = g.find_any_cycle()
+        assert cycle is not None and set(cycle) == {"A", "B"}
+        g.remove_transaction("A")
+        assert g.find_any_cycle() is None
+
+    def test_find_any_cycle_empty_and_acyclic(self):
+        g = ConcurrencyGraph()
+        assert g.find_any_cycle() is None
+        g.add_wait("T1", "T2", "a")
+        assert g.find_any_cycle() is None
+
+
 class TestSharedLockScenario:
     def test_type2_conflict_multiple_blockers(self):
         """An exclusive request on a shared-held entity produces one wait

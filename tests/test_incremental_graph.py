@@ -1,0 +1,406 @@
+"""Differential tests for the incrementally maintained waits-for graph.
+
+:class:`repro.graphs.incremental.IncrementalWaitsFor` is the detection
+hot path; these tests lock it to its specification — *always* equal, as
+an arc/vertex set and in every cycle answer, to a from-scratch
+``ConcurrencyGraph.from_lock_table`` rebuild:
+
+* hypothesis-driven random request/release/cancel/release_many sequences
+  against a raw :class:`~repro.locking.table.LockTable`, with full
+  differential comparison (arcs, vertices, adjacency, ``cycles_through``
+  per live transaction, ``find_any_cycle`` witness) after every mutation;
+* seeded end-to-end fuzz runs with a per-step differential observer,
+  covering the rollback paths (deadlock resolution exercises the batched
+  ``release_many`` wake-up);
+* the SHED teardown path (cancel-wait plus bulk release, no commit);
+* a determinism cross-check: a run detected over the incremental graph
+  produces byte-identical traces and victims to the same run detected by
+  full rebuild at every wait;
+* named regression cases for the trickiest single paths (cancel-wait
+  with queue drain, shared-mode multi-blocker refresh).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Database, Scheduler, TransactionProgram, ops
+from repro.core.detection import Deadlock, DeadlockDetector
+from repro.errors import LockError
+from repro.graphs import ConcurrencyGraph, IncrementalWaitsFor, Interner
+from repro.graphs.incremental import iter_arcs_sorted
+from repro.locking import EXCLUSIVE, SHARED, LockTable
+from repro.simulation import (
+    RandomInterleaving,
+    SimulationEngine,
+    WorkloadConfig,
+    generate_workload,
+)
+
+TXNS = [f"T{i}" for i in range(5)]
+ENTITIES = ["a", "b", "c"]
+
+
+def assert_matches_rebuild(table: LockTable) -> None:
+    """The incremental structure answers exactly like a fresh rebuild."""
+    live = table.waits_for
+    rebuilt = ConcurrencyGraph.from_lock_table(table)
+    rebuilt_arcs = {(a.holder, a.waiter, a.entity) for a in rebuilt}
+    assert live.arcs() == rebuilt_arcs
+    assert len(live) == len(rebuilt)
+    induced = {txn for arc in rebuilt_arcs for txn in arc[:2]}
+    assert live.transactions() == induced
+    live_adj = {k: v for k, v in live.adjacency().items() if v}
+    rebuilt_adj = {k: v for k, v in rebuilt.adjacency().items() if v}
+    assert live_adj == rebuilt_adj
+    # Every cycle query must agree — including the exact enumeration
+    # order, which victim selection depends on.
+    for txn in sorted(induced):
+        assert live.cycles_through(txn) == rebuilt.cycles_through(txn)
+        assert live.has_cycle_through(txn) == bool(
+            rebuilt.cycle_through(txn)
+        )
+    assert live.find_any_cycle() == rebuilt.find_any_cycle()
+    # materialize() round-trips to an arc-identical plain graph.
+    exported = live.materialize()
+    assert {(a.holder, a.waiter, a.entity) for a in exported} == rebuilt_arcs
+
+
+@st.composite
+def table_operations(draw):
+    ops_ = []
+    for _ in range(draw(st.integers(0, 40))):
+        kind = draw(
+            st.sampled_from(
+                ["request", "release", "cancel", "release_all",
+                 "release_many"]
+            )
+        )
+        txn = draw(st.sampled_from(TXNS))
+        entity = draw(st.sampled_from(ENTITIES))
+        extra = draw(st.sampled_from(ENTITIES))
+        mode = draw(st.sampled_from([SHARED, EXCLUSIVE]))
+        ops_.append((kind, txn, entity, extra, mode))
+    return ops_
+
+
+class TestDifferentialPropertyLockTable:
+    """Random mutation sequences against a raw lock table."""
+
+    @settings(max_examples=200)
+    @given(ops_=table_operations())
+    def test_always_equals_rebuild(self, ops_):
+        table = LockTable()
+        for kind, txn, entity, extra, mode in ops_:
+            try:
+                if kind == "request":
+                    table.request(txn, entity, mode)
+                elif kind == "release":
+                    table.release(txn, entity)
+                elif kind == "cancel":
+                    table.cancel_wait(txn)
+                elif kind == "release_many":
+                    held = sorted(
+                        e for e in (entity, extra)
+                        if txn in table.holders(e)
+                    )
+                    table.release_many(txn, held)
+                else:
+                    table.release_all(txn)
+            except LockError:
+                pass  # rejected op: state unchanged, graph must be too
+            assert_matches_rebuild(table)
+
+    @settings(max_examples=100)
+    @given(ops_=table_operations())
+    def test_full_teardown_empties_graph(self, ops_):
+        table = LockTable()
+        for kind, txn, entity, _extra, mode in ops_:
+            try:
+                if kind == "request":
+                    table.request(txn, entity, mode)
+            except LockError:
+                pass
+        for txn in TXNS:
+            table.release_all(txn)
+            assert_matches_rebuild(table)
+        assert table.waits_for.arcs() == set()
+        assert len(table.waits_for) == 0
+        assert table.waits_for.transactions() == set()
+
+    def test_release_many_wakes_like_sequential_releases(self):
+        """Batched release grants the same requests, in the same order,
+        as releasing the same entities one at a time."""
+        def build():
+            t = LockTable()
+            t.request("T1", "a", EXCLUSIVE)
+            t.request("T1", "b", EXCLUSIVE)
+            t.request("T2", "a", EXCLUSIVE)
+            t.request("T3", "b", SHARED)
+            t.request("T4", "b", SHARED)
+            return t
+
+        batched = build()
+        grants = batched.release_many("T1", ["a", "b"])
+        sequential = build()
+        expected = sequential.release("T1", "a") + sequential.release(
+            "T1", "b"
+        )
+        assert [(g.txn, g.entity) for g in grants] == [
+            (g.txn, g.entity) for g in expected
+        ]
+        assert_matches_rebuild(batched)
+        assert batched.waits_for.arcs() == sequential.waits_for.arcs()
+
+
+def differential_observer(engine, event) -> None:
+    assert_matches_rebuild(engine.scheduler.lock_manager.table)
+
+
+class TestDifferentialFuzzRuns:
+    """Seeded end-to-end runs with per-step differential comparison."""
+
+    def run_seed(self, seed: int, **overrides):
+        config_kwargs = dict(
+            n_transactions=6,
+            n_entities=4,
+            locks_per_txn=(2, 4),
+            write_ratio=1.0,
+        )
+        config_kwargs.update(overrides)
+        db, programs = generate_workload(
+            WorkloadConfig(**config_kwargs), seed=seed
+        )
+        scheduler = Scheduler(db)
+        engine = SimulationEngine(
+            scheduler,
+            RandomInterleaving(seed),
+            max_steps=50_000,
+            on_step=differential_observer,
+        )
+        for program in programs:
+            engine.add(program)
+        return engine.run(), scheduler
+
+    def test_deadlock_heavy_exclusive_runs(self):
+        deadlocks = 0
+        for seed in (1, 2, 3, 7):
+            result, _ = self.run_seed(seed)
+            assert result.all_committed
+            deadlocks += result.metrics.deadlocks
+        # The configuration must actually exercise the rollback path
+        # (resolution releases locks via the batched release_many).
+        assert deadlocks > 0
+
+    def test_shared_mode_runs(self):
+        result, _ = self.run_seed(11, write_ratio=0.5)
+        assert result.all_committed
+
+    def test_counters_track_maintenance(self):
+        result, scheduler = self.run_seed(3)
+        counters = scheduler.lock_manager.table.waits_for.counters_snapshot()
+        assert counters["edges_added"] == counters["edges_removed"]
+        assert counters["cycle_checks"] >= result.metrics.deadlocks
+        assert counters["enumerations"] >= result.metrics.deadlocks
+        assert result.graph_counters == counters
+
+
+class TestShedPath:
+    """scheduler.shed tears a transaction out mid-wait: cancel plus bulk
+    release without commit — both sides must keep the graph consistent."""
+
+    def build_blocked_chain(self):
+        db = Database({"a": 1, "b": 2, "c": 3})
+        s = Scheduler(db)
+        for txn, entities in (
+            ("T1", ["a", "b"]),
+            ("T2", ["b", "c"]),
+            ("T3", ["a"]),
+        ):
+            operations = []
+            for entity in entities:
+                operations.append(ops.lock_exclusive(entity))
+                operations.append(
+                    ops.write(entity, ops.entity(entity) + ops.const(1))
+                )
+            s.register(TransactionProgram(txn, operations))
+        s.step("T1")  # T1 locks a
+        s.step("T2")  # T2 locks b
+        s.step("T1")  # write a
+        s.step("T2")  # write b
+        s.step("T1")  # T1 blocks on b (held by T2)
+        s.step("T3")  # T3 blocks on a (held by T1)
+        assert_matches_rebuild(s.lock_manager.table)
+        assert s.lock_manager.table.waits_for.arcs() == {
+            ("T2", "T1", "b"),
+            ("T1", "T3", "a"),
+        }
+        return s
+
+    def test_shed_blocked_waiter(self):
+        s = self.build_blocked_chain()
+        s.shed("T1", reason="test")
+        # T1's wait on b is cancelled and its hold on a released, which
+        # wakes T3 — no stale arcs either side.
+        assert_matches_rebuild(s.lock_manager.table)
+        assert s.lock_manager.table.waits_for.arcs() == set()
+        s.run_until_quiescent()
+        assert_matches_rebuild(s.lock_manager.table)
+
+    def test_shed_holder_wakes_waiters(self):
+        s = self.build_blocked_chain()
+        s.shed("T2", reason="test")
+        assert_matches_rebuild(s.lock_manager.table)
+        # T1 was granted b by the shed; only T3's wait on a remains.
+        assert s.lock_manager.table.waits_for.arcs() == {
+            ("T1", "T3", "a")
+        }
+        s.run_until_quiescent()
+        assert_matches_rebuild(s.lock_manager.table)
+
+
+class RebuildDetector(DeadlockDetector):
+    """The pre-incremental detector: full graph rebuild at every wait."""
+
+    def check(self, requester):
+        graph = ConcurrencyGraph.from_lock_table(self._table)
+        cycles = graph.cycles_through(requester, limit=self.cycle_limit)
+        if not cycles:
+            return None
+        return Deadlock(requester=requester, cycles=cycles, graph=graph)
+
+    def find_any_cycle(self):
+        return ConcurrencyGraph.from_lock_table(self._table).find_any_cycle()
+
+    def live_graph(self):
+        return ConcurrencyGraph.from_lock_table(self._table)
+
+
+class TestDeterminismContract:
+    """Same seed => same victims, traces, and final state on either the
+    incremental or the full-rebuild detection path."""
+
+    def run_once(self, seed: int, rebuild: bool):
+        db, programs = generate_workload(
+            WorkloadConfig(
+                n_transactions=6,
+                n_entities=4,
+                locks_per_txn=(2, 4),
+                write_ratio=1.0,
+            ),
+            seed=seed,
+        )
+        scheduler = Scheduler(db)
+        if rebuild:
+            scheduler.detector = RebuildDetector(
+                scheduler.lock_manager.table,
+                cycle_limit=scheduler.detector.cycle_limit,
+            )
+        engine = SimulationEngine(
+            scheduler, RandomInterleaving(seed), max_steps=50_000
+        )
+        for program in programs:
+            engine.add(program)
+        return engine.run()
+
+    def test_same_victims_either_graph_path(self):
+        for seed in (1, 2, 3):
+            live = self.run_once(seed, rebuild=False)
+            rebuilt = self.run_once(seed, rebuild=True)
+            assert live.metrics.deadlocks == rebuilt.metrics.deadlocks
+            assert (
+                live.metrics.rollbacks_by_victim
+                == rebuilt.metrics.rollbacks_by_victim
+            )
+            assert live.committed == rebuilt.committed
+            assert live.final_state == rebuilt.final_state
+            assert [
+                (e.step, e.txn_id, e.outcome) for e in live.trace
+            ] == [(e.step, e.txn_id, e.outcome) for e in rebuilt.trace]
+            assert live.metrics.deadlocks > 0  # the check has teeth
+
+
+class TestRegressionCases:
+    """Named single-path cases for the trickiest refresh sites."""
+
+    def test_cancel_wait_with_drain_promotes_queue(self):
+        """Cancelling a waiter whose departure makes the next queued
+        request grantable: the drain inside cancel_wait must refresh."""
+        table = LockTable()
+        table.request("T1", "a", SHARED)
+        table.request("T2", "a", EXCLUSIVE)  # blocks on the S holder
+        table.request("T3", "a", SHARED)     # FIFO-blocked behind T2
+        assert table.waits_for.arcs() == {
+            ("T1", "T2", "a"),
+            ("T2", "T3", "a"),
+        }
+        table.cancel_wait("T2")
+        # T3 is compatible with T1 and must be drained in; no arcs left.
+        assert "T3" in table.holders("a")
+        assert table.waits_for.arcs() == set()
+        assert_matches_rebuild(table)
+
+    def test_shared_multi_blocker_refresh(self):
+        """An exclusive wait behind several shared holders produces one
+        arc per holder; each holder's release drops exactly its arc."""
+        table = LockTable()
+        table.request("R1", "x", SHARED)
+        table.request("R2", "x", SHARED)
+        table.request("W", "x", EXCLUSIVE)
+        assert table.waits_for.arcs() == {
+            ("R1", "W", "x"),
+            ("R2", "W", "x"),
+        }
+        table.release("R1", "x")
+        assert table.waits_for.arcs() == {("R2", "W", "x")}
+        assert_matches_rebuild(table)
+        table.release("R2", "x")
+        assert table.waits_for.arcs() == set()
+        assert "W" in table.holders("x")
+        assert_matches_rebuild(table)
+
+    def test_release_many_duplicate_entities(self):
+        """Found by the hypothesis differential run: a duplicated entity
+        in the batch made release_many double-delete the holdership
+        (KeyError) instead of releasing once."""
+        table = LockTable()
+        table.request("T0", "a", SHARED)
+        grants = table.release_many("T0", ["a", "a"])
+        assert grants == []
+        assert table.holders("a") == {}
+        assert_matches_rebuild(table)
+
+    def test_uncontended_traffic_is_free(self):
+        """Grants and releases with no queue never touch the structure."""
+        table = LockTable()
+        for _ in range(3):
+            table.request("T1", "a", EXCLUSIVE)
+            table.release("T1", "a")
+        assert table.waits_for.counters_snapshot()["refreshes"] == 0
+
+    def test_iter_arcs_sorted_is_deterministic(self):
+        table = LockTable()
+        table.request("T2", "b", EXCLUSIVE)
+        table.request("T3", "b", EXCLUSIVE)
+        table.request("T1", "b", EXCLUSIVE)
+        assert list(iter_arcs_sorted(table.waits_for)) == [
+            ("T2", "T1", "b"),
+            ("T2", "T3", "b"),
+            ("T3", "T1", "b"),
+        ]
+
+
+class TestInterner:
+    def test_first_seen_dense_indices(self):
+        interner = Interner()
+        assert interner.index("x") == 0
+        assert interner.index("y") == 1
+        assert interner.index("x") == 0
+        assert len(interner) == 2
+        assert interner.get("z") is None
+        assert interner.name(1) == "y"
+
+    def test_queries_on_unknown_names_are_safe(self):
+        live = IncrementalWaitsFor()
+        assert not live.has_cycle_through("nobody")
+        assert live.cycles_through("nobody") == []
+        assert live.find_any_cycle() is None
+        assert live.arcs() == set()

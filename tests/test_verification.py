@@ -53,6 +53,7 @@ from repro.verification.oracles import (
     CyclesThroughRequesterOracle,
     ForestOracle,
     GraphAcyclicOracle,
+    GraphConsistencyOracle,
     LockTableConsistencyOracle,
     NoCommitLossOracle,
     PreemptionOrderOracle,
@@ -170,6 +171,32 @@ class TestOracleSensitivity:
             CyclesThroughRequesterOracle().check(
                 s, _event(outcome=StepOutcome.DEADLOCK, cycles=[])
             )
+
+    def test_graph_consistency_fires_on_dropped_arc(self):
+        s = _bare_scheduler()
+        assert s.lock_manager.lock("T1", "a", LockMode.EXCLUSIVE)
+        assert not s.lock_manager.lock("T2", "a", LockMode.EXCLUSIVE)
+        GraphConsistencyOracle().check(s, _event())  # consistent: passes
+        # Wipe the entity's live edges behind the lock table's back: the
+        # incremental structure now misses the T1 -> T2 arc the rebuild
+        # still derives.
+        s.lock_manager.table.waits_for.refresh_entity("a", {}, ())
+        with pytest.raises(OracleViolation) as exc:
+            GraphConsistencyOracle().check(s, _event())
+        assert exc.value.oracle == "graph-consistency"
+        assert "missing" in str(exc.value)
+
+    def test_graph_consistency_fires_on_stale_copies_sum(self):
+        s = _bare_scheduler()
+        s._copies_sum += 7  # desync the running total from the recount
+        with pytest.raises(OracleViolation) as exc:
+            GraphConsistencyOracle().check(s, _event())
+        assert "copies" in str(exc.value)
+
+    def test_graph_consistency_in_default_suite(self):
+        assert "graph-consistency" in oracle_names()
+        names = [type(o).name for o in make_oracles("all")]
+        assert "graph-consistency" in names
 
     def test_no_commit_loss_fires_on_committed_victim(self):
         s = _bare_scheduler()
