@@ -45,10 +45,25 @@ class DeadlineEnforcer:
         self.deadline_steps = deadline_steps
         self._deadline: dict[str, int] = {}
         self._rung: dict[str, int] = {}
+        #: Per-transaction period overrides (see :meth:`watch`).
+        self._period: dict[str, int] = {}
 
-    def watch(self, txn_id: str, step: int) -> None:
-        """Start the deadline clock for a newly admitted transaction."""
-        self._deadline[txn_id] = step + self.deadline_steps
+    def watch(
+        self, txn_id: str, step: int, deadline_steps: int | None = None
+    ) -> None:
+        """Start the deadline clock for a newly admitted transaction.
+
+        *deadline_steps* overrides the enforcer-wide period for this one
+        transaction — the lock service maps per-request deadlines onto
+        the ladder this way.  The override persists across rung resets.
+        """
+        if deadline_steps is not None and deadline_steps < 1:
+            raise ValueError("deadline_steps must be positive")
+        period = (
+            self.deadline_steps if deadline_steps is None else deadline_steps
+        )
+        self._period[txn_id] = period
+        self._deadline[txn_id] = step + period
         self._rung[txn_id] = 0
 
     def deadline_of(self, txn_id: str) -> int | None:
@@ -66,13 +81,15 @@ class DeadlineEnforcer:
             if txn is None or txn.done:
                 self._deadline.pop(txn_id, None)
                 self._rung.pop(txn_id, None)
+                self._period.pop(txn_id, None)
                 continue
             if step < self._deadline[txn_id]:
                 continue
+            period = self._period.get(txn_id, self.deadline_steps)
             if txn.status is not TxnStatus.BLOCKED:
                 # Runnable at expiry: it can make progress, so it gets
                 # another period instead of an escalation.
-                self._deadline[txn_id] = step + self.deadline_steps
+                self._deadline[txn_id] = step + period
                 continue
             scheduler.metrics.bump("deadline_expiries")
             rung = self._rung[txn_id] = self._rung[txn_id] + 1
@@ -91,14 +108,15 @@ class DeadlineEnforcer:
                     txn_id, target, requester=txn_id, ideal_ordinal=ideal
                 )
                 scheduler.metrics.bump("deadline_partials")
-                self._deadline[txn_id] = step + self.deadline_steps
+                self._deadline[txn_id] = step + period
             elif rung == 2:
                 scheduler.force_rollback(
                     txn_id, 0, requester=txn_id, ideal_ordinal=0
                 )
                 scheduler.metrics.bump("deadline_restarts")
-                self._deadline[txn_id] = step + self.deadline_steps
+                self._deadline[txn_id] = step + period
             else:
                 scheduler.shed(txn_id)
                 self._deadline.pop(txn_id, None)
                 self._rung.pop(txn_id, None)
+                self._period.pop(txn_id, None)

@@ -571,6 +571,61 @@ def cmd_top(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+    import json
+    import tempfile
+
+    from .service.core import ServiceConfig
+    from .service.replay import verify_journal
+    from .service.server import serve
+
+    if args.verify:
+        divergences = verify_journal(args.verify)
+        if divergences:
+            print(f"REPLAY DIVERGED ({len(divergences)}):")
+            for line in divergences:
+                print(f"  {line}")
+            return 1
+        print(f"replay verified: {args.verify} — zero divergences")
+        return 0
+
+    if args.smoke:
+        from .service.smoke import run_smoke
+
+        workdir = args.workdir or tempfile.mkdtemp(prefix="repro-smoke-")
+        report = run_smoke(
+            workdir,
+            clients=args.clients,
+            commits_per_client=args.commits,
+            kill_after=args.kill_after,
+            entities=args.entities,
+        )
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0 if report["ok"] else 1
+
+    config = ServiceConfig(
+        max_sessions=args.max_sessions,
+        deadline_steps=args.deadline,
+        strategy=args.strategy,
+        policy=args.policy,
+    )
+    return asyncio.run(
+        serve(
+            args.host,
+            args.port,
+            args.entities,
+            args.initial,
+            config,
+            wal_path=args.wal,
+            journal_path=args.journal,
+            port_file=args.port_file,
+            tick_interval=args.tick_interval,
+            drain_timeout=args.drain_timeout,
+        )
+    )
+
+
 def cmd_figures(_args) -> int:
     print("Figure 1 — exclusive-lock deadlock, cost-optimal victim")
     engine, result = drive_figure1(policy="min-cost")
@@ -862,6 +917,51 @@ def build_parser() -> argparse.ArgumentParser:
     p_top.add_argument("--json", action="store_true",
                        help="machine-readable report on stdout")
     p_top.set_defaults(fn=cmd_top)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the network-facing lock service "
+             "(see docs/SERVICE.md)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="TCP port (0 = ephemeral)")
+    p_serve.add_argument("--port-file", default=None,
+                         help="write the bound port to this file")
+    p_serve.add_argument("--entities", type=int, default=16,
+                         help="number of entities e000..eNNN")
+    p_serve.add_argument("--initial", type=int, default=0,
+                         help="initial value of every entity")
+    p_serve.add_argument("--wal", default=None,
+                         help="durable WAL path (enables crash recovery)")
+    p_serve.add_argument("--journal", default=None,
+                         help="request-journal path (enables --verify)")
+    p_serve.add_argument("--max-sessions", type=int, default=8,
+                         help="admission MPL; over capacity answers 429")
+    p_serve.add_argument("--deadline", type=int, default=60,
+                         help="default deadline in logical steps")
+    p_serve.add_argument("--strategy", choices=STRATEGIES, default="mcs")
+    p_serve.add_argument("--policy", choices=POLICIES,
+                         default="ordered-min-cost")
+    p_serve.add_argument("--tick-interval", type=float, default=0.05,
+                         help="idle-ticker period in seconds")
+    p_serve.add_argument("--drain-timeout", type=float, default=10.0,
+                         help="seconds to wait for sessions on SIGTERM")
+    p_serve.add_argument("--verify", default=None, metavar="JOURNAL",
+                         help="replay JOURNAL through the simulator and "
+                              "report divergences instead of serving")
+    p_serve.add_argument("--smoke", action="store_true",
+                         help="boot, storm, kill -9, restart, drain, "
+                              "verify — the CI gate")
+    p_serve.add_argument("--workdir", default=None,
+                         help="smoke working directory (default: tmp)")
+    p_serve.add_argument("--clients", type=int, default=4,
+                         help="smoke: concurrent storm clients")
+    p_serve.add_argument("--commits", type=int, default=3,
+                         help="smoke: commits required per client")
+    p_serve.add_argument("--kill-after", type=float, default=1.0,
+                         help="smoke: seconds before the SIGKILL")
+    p_serve.set_defaults(fn=cmd_serve)
 
     p_lint = sub.add_parser(
         "lint",

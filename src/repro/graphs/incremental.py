@@ -66,38 +66,73 @@ class QueuedLike(Protocol):
 
 
 class Interner:
-    """Bidirectional string <-> dense-index map (first-seen order).
+    """Bidirectional string <-> dense-index map with slot recycling.
 
-    Indices are assigned 0, 1, 2, ... in first-intern order, which is
-    deterministic because every caller mutates the lock table in a
-    deterministic order.
+    Indices are assigned 0, 1, 2, ... in first-intern order (deterministic
+    because every caller mutates the lock table in a deterministic order).
+    :meth:`recycle` returns an index to a free list for reuse, so a
+    long-lived process interning an unbounded stream of transaction ids
+    keeps the index space bounded by the number of *live* names.  Index
+    reuse is safe for every consumer here: existence queries over the
+    integer adjacency are order-independent, and all enumeration runs over
+    name-keyed structures.
     """
 
-    __slots__ = ("_index_of", "_names")
+    __slots__ = ("_index_of", "_names", "_free")
 
     def __init__(self) -> None:
         self._index_of: dict[str, int] = {}
         self._names: list[str] = []
+        self._free: list[int] = []
 
     def __len__(self) -> int:
+        """Slots ever allocated (the high-water mark, not live names)."""
         return len(self._names)
 
+    @property
+    def live(self) -> int:
+        """Names currently interned."""
+        return len(self._index_of)
+
     def index(self, name: str) -> int:
-        """Index for *name*, interning it on first sight."""
+        """Index for *name*, interning it on first sight (reusing a
+        recycled slot when one is free)."""
         idx = self._index_of.get(name)
         if idx is None:
-            idx = len(self._names)
+            if self._free:
+                idx = self._free.pop()
+                self._names[idx] = name
+            else:
+                idx = len(self._names)
+                self._names.append(name)
             self._index_of[name] = idx
-            self._names.append(name)
         return idx
 
     def get(self, name: str) -> int | None:
-        """Index for *name* if already interned, else ``None``."""
+        """Index for *name* if currently interned, else ``None``."""
         return self._index_of.get(name)
 
     def name(self, index: int) -> str:
         """Inverse lookup."""
         return self._names[index]
+
+    def recycle(self, name: str) -> bool:
+        """Free *name*'s slot for reuse; True if it was interned.
+
+        The caller is responsible for ensuring no live structure still
+        references the index (:class:`IncrementalWaitsFor` checks its
+        incident-arc counts before recycling).
+        """
+        idx = self._index_of.pop(name, None)
+        if idx is None:
+            return False
+        self._names[idx] = ""
+        self._free.append(idx)
+        return True
+
+    def items(self) -> list[tuple[str, int]]:
+        """Live ``(name, index)`` pairs (compaction sweeps iterate this)."""
+        return list(self._index_of.items())
 
 
 class IncrementalWaitsFor:
@@ -118,6 +153,9 @@ class IncrementalWaitsFor:
         self._pair_labels: dict[tuple[int, int], set[int]] = {}
         #: holder -> waiters (interned); the DFS substrate.
         self._succ: dict[int, set[int]] = {}
+        #: txn index -> number of live (holder, waiter) pairs it appears
+        #: in; guards id recycling (a txn with incident pairs is pinned).
+        self._incident: dict[int, int] = {}
         #: Maintenance/query counters for the perf trajectory
         #: (``BENCH_scale.json`` records them per run).
         self.counters: dict[str, int] = {
@@ -127,6 +165,9 @@ class IncrementalWaitsFor:
             "cycle_checks": 0,
             "enumerations": 0,
             "materializations": 0,
+            "txn_ids_recycled": 0,
+            "entity_ids_recycled": 0,
+            "compactions": 0,
         }
 
     # -- maintenance (called by the lock table) ---------------------------
@@ -185,6 +226,9 @@ class IncrementalWaitsFor:
         if labels is None:
             labels = self._pair_labels[pair] = set()
             self._succ.setdefault(pair[0], set()).add(pair[1])
+            incident = self._incident
+            incident[pair[0]] = incident.get(pair[0], 0) + 1
+            incident[pair[1]] = incident.get(pair[1], 0) + 1
         labels.add(eid)
         self.counters["edges_added"] += 1
 
@@ -201,6 +245,77 @@ class IncrementalWaitsFor:
                 waiters.discard(pair[1])
                 if not waiters:
                     del self._succ[pair[0]]
+            incident = self._incident
+            for endpoint in pair:
+                count = incident.get(endpoint, 0) - 1
+                if count <= 0:
+                    incident.pop(endpoint, None)
+                else:
+                    incident[endpoint] = count
+
+    # -- id recycling (bounded interners for service lifetimes) -----------
+
+    def forget_txn(self, txn_id: TxnId) -> bool:
+        """Recycle *txn_id*'s interned index if no live arc touches it.
+
+        Called when a transaction terminates (commit / shed): its id will
+        never be interned again, so the slot is returned for reuse and a
+        long-lived process's transaction interner stays bounded by the
+        number of *live* transactions.  A no-op (returning False) while
+        the transaction still appears in any (holder, waiter) pair.
+        """
+        idx = self._txns.get(txn_id)
+        if idx is None or self._incident.get(idx):
+            return False
+        self._txns.recycle(txn_id)
+        self.counters["txn_ids_recycled"] += 1
+        return True
+
+    def forget_entity(self, entity: EntityName) -> bool:
+        """Recycle *entity*'s interned index if it carries no arcs.
+
+        Safe at any time — a later lock on the entity simply re-interns
+        it (possibly at a different index; all arc bookkeeping is keyed by
+        the live index).
+        """
+        eid = self._entities.get(entity)
+        if eid is None or eid in self._entity_edges:
+            return False
+        self._entities.recycle(entity)
+        self.counters["entity_ids_recycled"] += 1
+        return True
+
+    def compact(self) -> dict[str, int]:
+        """Sweep both interners, recycling every id with no live arcs.
+
+        The periodic compaction hook for long-lived processes (the lock
+        service ticks it): transactions are also recycled eagerly at
+        termination via :meth:`forget_txn`, but entities — and any
+        transaction whose termination hook was bypassed — are reclaimed
+        here.  Returns ``{"txns": n, "entities": m}`` recycled counts.
+        """
+        self.counters["compactions"] += 1
+        txns = sum(
+            1
+            for name, idx in self._txns.items()
+            if not self._incident.get(idx) and self.forget_txn(name)
+        )
+        entities = sum(
+            1
+            for name, eid in self._entities.items()
+            if eid not in self._entity_edges and self.forget_entity(name)
+        )
+        return {"txns": txns, "entities": entities}
+
+    @property
+    def interned(self) -> dict[str, int]:
+        """Live interner occupancy (bounded-memory assertions)."""
+        return {
+            "txns_live": self._txns.live,
+            "txn_slots": len(self._txns),
+            "entities_live": self._entities.live,
+            "entity_slots": len(self._entities),
+        }
 
     # -- views ------------------------------------------------------------
 

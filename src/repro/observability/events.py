@@ -67,6 +67,13 @@ class EventKind(enum.Enum):
     MESSAGE_DUPLICATE = "message.duplicate"
     MESSAGE_DELAY = "message.delay"
 
+    # -- lock service -------------------------------------------------------
+    SERVICE_REQUEST = "service.request"
+    SERVICE_REPLY = "service.reply"
+    SERVICE_REJECT = "service.reject"
+    SERVICE_DRAIN = "service.drain"
+    SERVICE_RECOVER = "service.recover"
+
     # -- durability / chaos ------------------------------------------------
     WAL_APPEND = "wal.append"
     WAL_CHECKPOINT = "wal.checkpoint"

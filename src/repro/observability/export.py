@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+from pathlib import Path
 from typing import Any, Iterable
 
 from ..graphs.concurrency import ConcurrencyGraph
@@ -58,6 +60,85 @@ def to_jsonl(events: Iterable[Event]) -> str:
 def fingerprint(events: Iterable[Event]) -> str:
     """SHA-256 over the exact JSONL bytes — the determinism contract."""
     return hashlib.sha256(to_jsonl(events).encode()).hexdigest()
+
+
+class JsonlStreamSink:
+    """A bus sink that streams events to a JSONL file, flush-on-write.
+
+    Export-at-end loses the whole run if the process dies; a long-lived
+    service cannot accept that.  Subscribed to an
+    :class:`~repro.observability.events.EventBus`, this sink writes each
+    event as one canonical JSONL line (identical bytes to
+    :func:`to_jsonl`) and flushes — with ``fsync=True`` it also forces
+    the line to disk — so a ``kill -9`` loses at most the event being
+    written.  ``append=True`` reopens an existing file without
+    truncation, the restart half of the segment-stitching contract:
+    re-attaching a recorder after a crash continues the same stream.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        append: bool = False,
+        fsync: bool = False,
+    ) -> None:
+        self.path = Path(path)
+        self._fsync = fsync
+        self._handle = self.path.open("a" if append else "w")
+        self.lines_written = 0
+
+    def __call__(self, event: Event) -> None:
+        self._handle.write(
+            json.dumps(event.to_obj(), sort_keys=True, default=str) + "\n"
+        )
+        self._handle.flush()
+        if self._fsync:
+            os.fsync(self._handle.fileno())
+        self.lines_written += 1
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+    def __enter__(self) -> "JsonlStreamSink":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def read_events_jsonl(path: str | Path) -> list[Event]:
+    """Load a streamed JSONL event file back into :class:`Event` records.
+
+    The inverse of :class:`JsonlStreamSink` (and of :func:`to_jsonl`):
+    used by replay verification to feed a recorded request stream back
+    through the simulator.  A trailing half-written line — the most a
+    crash can leave behind under flush-on-write — is skipped; a corrupt
+    line anywhere else raises.
+    """
+    events: list[Event] = []
+    with Path(path).open() as handle:
+        lines = handle.read().splitlines()
+    for index, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError:
+            if index == len(lines) - 1:
+                break  # torn final write from a crash
+            raise
+        events.append(
+            Event(
+                seq=obj["seq"],
+                step=obj["step"],
+                kind=EventKind(obj["kind"]),
+                txn=obj.get("txn", ""),
+                data=obj.get("data", {}),
+            )
+        )
+    return events
 
 
 def to_chrome(events: list[Event]) -> dict[str, Any]:

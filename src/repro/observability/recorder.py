@@ -16,10 +16,12 @@ number never resets).
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import TYPE_CHECKING
 
 from ..core.transaction import TxnStatus
 from .events import Event, EventBus, EventKind
+from .export import JsonlStreamSink
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..simulation.engine import SimulationEngine
@@ -33,16 +35,37 @@ class RunRecorder:
     sample_every:
         Recorded engine steps between waits-for SAMPLE snapshots;
         ``0`` disables the sampler.
+    stream_to:
+        Optional JSONL path; every event is additionally written there
+        flush-on-write via :class:`JsonlStreamSink`, so a crash loses at
+        most the last event instead of the whole in-memory list.
+    append:
+        Reopen ``stream_to`` without truncating — restart continuity for
+        multi-segment (crash/recover) runs.
     """
 
-    def __init__(self, sample_every: int = 0) -> None:
+    def __init__(
+        self,
+        sample_every: int = 0,
+        stream_to: str | Path | None = None,
+        append: bool = False,
+    ) -> None:
         if sample_every < 0:
             raise ValueError("sample_every must be >= 0")
         self.sample_every = sample_every
         self.bus = EventBus()
         self.events: list[Event] = []
         self.bus.subscribe(self.events.append)
+        self.stream: JsonlStreamSink | None = None
+        if stream_to is not None:
+            self.stream = JsonlStreamSink(stream_to, append=append)
+            self.bus.subscribe(self.stream)
         self._steps_seen = 0
+
+    def close(self) -> None:
+        """Flush and close the streaming sink (no-op when not streaming)."""
+        if self.stream is not None:
+            self.stream.close()
 
     def attach(self, engine: "SimulationEngine") -> "RunRecorder":
         """Wire *engine*'s scheduler (and satellites) to this recorder.

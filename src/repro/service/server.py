@@ -1,0 +1,310 @@
+"""The asyncio shell around :class:`~repro.service.core.ServiceCore`.
+
+Everything stateful and decision-making lives in the core; this module
+owns only what a network process must: TCP framing, routing deferred
+replies back to the right connection, an idle ticker that advances
+logical time while clients wait (journaled as ``tick`` requests so
+replay sees the same instants), graceful drain on SIGTERM, and crash
+recovery on startup.
+
+Recovery composes the two durable artifacts:
+
+* the WAL (:class:`~repro.service.journal.DurableWriteAheadLog`)
+  rebuilds the database — committed installs redone, in-flight
+  transactions discarded;
+* the journal seeds the idempotency window for *committed* transactions
+  and restores the transaction-id counter, so a client retrying a
+  ``commit`` whose ack was lost in the crash still gets its
+  exactly-once success instead of a 410.
+
+All request handling runs on the event loop's single thread, so the
+synchronous core needs no locking; per-connection reader tasks simply
+call it in arrival order.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import re
+import signal
+from pathlib import Path
+from typing import Any
+
+from ..observability.events import Event, EventBus, EventKind
+from ..observability.export import JsonlStreamSink, read_events_jsonl
+from ..storage.database import Database
+from . import protocol
+from .core import ServiceConfig, ServiceCore
+from .journal import DurableWriteAheadLog
+
+_TXN_ID = re.compile(r"^T(\d+)$")
+
+
+def recovery_seeds(
+    events: list[Event], committed: set[str]
+) -> tuple[int, dict[str, dict]]:
+    """Derive restart seeds from a journal: txn counter and commit dedup.
+
+    The counter resumes above every id ever issued (ids are never
+    reused across restarts).  The dedup window is re-seeded only with
+    *committed* transactions' commit requests: a retried commit finds
+    its ack; a retried ``begin`` gets a fresh transaction, because the
+    in-flight one it named died with the crash.
+    """
+    highest = 0
+    dedup: dict[str, dict] = {}
+    for event in events:
+        match = _TXN_ID.match(event.txn or "")
+        if match:
+            highest = max(highest, int(match.group(1)))
+        if (
+            event.kind is EventKind.SERVICE_REQUEST
+            and event.data.get("verb") == "commit"
+            and event.data.get("idem") is not None
+            and event.txn in committed
+        ):
+            dedup[str(event.data["idem"])] = {
+                "ok": True,
+                "code": protocol.OK,
+                "verb": "commit",
+                "txn": event.txn,
+                "committed": True,
+                "recovered": True,
+            }
+    return highest, dedup
+
+
+def build_core(
+    entities: int,
+    initial: int,
+    config: ServiceConfig,
+    wal_path: str | Path | None,
+    journal_path: str | Path | None,
+) -> tuple[ServiceCore, JsonlStreamSink | None]:
+    """Construct a (possibly recovered) core plus its journal sink.
+
+    Entity names follow the workload generator's ``e000`` convention.
+    When the WAL file already holds records, this boot is a recovery:
+    the database is rebuilt by redo and the journal (if present) seeds
+    the dedup window and transaction counter.
+    """
+    initial_state = {f"e{i:03d}": initial for i in range(entities)}
+    bus = EventBus()
+    sink: JsonlStreamSink | None = None
+    recovered_committed: set[str] | None = None
+    txn_counter = 0
+    dedup_seed: dict[str, dict] = {}
+    wal = None
+    if wal_path is not None:
+        wal = DurableWriteAheadLog.open_existing(wal_path, initial_state)
+        if len(wal):
+            state, committed = wal.recover_state()
+            initial_state = state
+            recovered_committed = committed
+            if journal_path is not None and Path(journal_path).exists():
+                txn_counter, dedup_seed = recovery_seeds(
+                    read_events_jsonl(journal_path), committed
+                )
+    if journal_path is not None:
+        sink = JsonlStreamSink(journal_path, append=True)
+        bus.subscribe(sink)
+    core = ServiceCore(
+        Database(initial_state),
+        config=config,
+        wal=wal,
+        bus=bus,
+        recovered_committed=recovered_committed,
+        txn_counter_start=txn_counter,
+        dedup_seed=dedup_seed,
+    )
+    return core, sink
+
+
+class LockServer:
+    """One TCP lock service process.
+
+    Parameters
+    ----------
+    core:
+        The deterministic core (freshly built or recovered).
+    sink:
+        The journal sink to close on shutdown (may be ``None``).
+    tick_interval:
+        Wall-clock seconds between idle ticks while requests are
+        parked; logical time must advance for deadlines to fire even
+        when no client traffic arrives.
+    drain_timeout:
+        Seconds to wait for in-flight sessions after SIGTERM before
+        shutting down anyway.
+    """
+
+    def __init__(
+        self,
+        core: ServiceCore,
+        sink: JsonlStreamSink | None = None,
+        tick_interval: float = 0.05,
+        drain_timeout: float = 10.0,
+    ) -> None:
+        self.core = core
+        self.sink = sink
+        self.tick_interval = tick_interval
+        self.drain_timeout = drain_timeout
+        self.port: int | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._waiters: dict[Any, asyncio.StreamWriter] = {}
+        self._stopping = asyncio.Event()
+        self._tick_counter = 0
+        self._ticker_task: asyncio.Task | None = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> int:
+        """Bind and serve; returns the actual port (``0`` = ephemeral)."""
+        self._server = await asyncio.start_server(
+            self._serve_connection, host, port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._ticker_task = asyncio.get_running_loop().create_task(
+            self._ticker()
+        )
+        return self.port
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT start a graceful drain."""
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, self.begin_drain)
+
+    def begin_drain(self) -> None:
+        """Stop admitting; finish or shed in-flight work, then stop."""
+        self.core.start_drain()
+        asyncio.get_running_loop().create_task(self._drain_then_stop())
+
+    async def _drain_then_stop(self) -> None:
+        deadline = (
+            asyncio.get_running_loop().time() + self.drain_timeout
+        )
+        while (
+            not self.core.idle
+            and asyncio.get_running_loop().time() < deadline
+        ):
+            await asyncio.sleep(self.tick_interval)
+        self._stopping.set()
+
+    async def wait_closed(self) -> None:
+        """Block until drain (or a fatal error) stops the server."""
+        await self._stopping.wait()
+        if self._ticker_task is not None:
+            self._ticker_task.cancel()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self.sink is not None:
+            self.sink.close()
+        wal = self.core.wal
+        close = getattr(wal, "close", None)
+        if close is not None:
+            close()
+
+    # -- the request path ------------------------------------------------------
+
+    def _deliver(self, rid: Any, reply: dict) -> None:
+        writer = self._waiters.pop(rid, None)
+        if writer is None or writer.is_closing():
+            return  # client gone; the decision is journaled regardless
+        writer.write(protocol.encode(reply))
+
+    def _handle(
+        self, request: dict, writer: asyncio.StreamWriter | None
+    ) -> None:
+        """Feed one request to the core and route every reply."""
+        rid = request.get("rid")
+        if writer is not None and rid is not None:
+            self._waiters[rid] = writer
+        reply, completions = self.core.handle(request)
+        if reply is not None and rid is not None:
+            self._deliver(rid, reply)
+        for done_rid, done_reply in completions:
+            self._deliver(done_rid, done_reply)
+
+    async def _serve_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = protocol.decode(line)
+                except ValueError:
+                    writer.write(
+                        protocol.encode(
+                            protocol.error_reply(
+                                None, "", protocol.BAD_REQUEST,
+                                "malformed frame",
+                            )
+                        )
+                    )
+                    continue
+                self._handle(request, writer)
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client vanished; parked work continues server-side
+        finally:
+            for rid, waiter in list(self._waiters.items()):
+                if waiter is writer:
+                    del self._waiters[rid]
+            writer.close()
+
+    async def _ticker(self) -> None:
+        """Advance logical time while replies are parked.
+
+        Each tick is journaled as an internal ``tick`` request, so the
+        deadline ladder fires at replay-visible instants.
+        """
+        while not self._stopping.is_set():
+            await asyncio.sleep(self.tick_interval)
+            if not self.core._parked and not self.core.draining:
+                continue
+            self._tick_counter += 1
+            self._handle(
+                {"rid": f"__tick.{self._tick_counter}", "verb": "tick"},
+                None,
+            )
+
+
+async def serve(
+    host: str,
+    port: int,
+    entities: int,
+    initial: int,
+    config: ServiceConfig,
+    wal_path: str | None,
+    journal_path: str | None,
+    port_file: str | None = None,
+    tick_interval: float = 0.05,
+    drain_timeout: float = 10.0,
+) -> int:
+    """Run a lock server until drained (the ``repro serve`` body)."""
+    core, sink = build_core(
+        entities, initial, config, wal_path, journal_path
+    )
+    server = LockServer(
+        core,
+        sink,
+        tick_interval=tick_interval,
+        drain_timeout=drain_timeout,
+    )
+    bound = await server.start(host, port)
+    server.install_signal_handlers()
+    if port_file:
+        Path(port_file).write_text(f"{bound}\n")
+    print(f"repro-serve listening on {host}:{bound}", flush=True)
+    await server.wait_closed()
+    print("repro-serve drained and stopped", flush=True)
+    return 0

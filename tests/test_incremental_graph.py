@@ -404,3 +404,90 @@ class TestInterner:
         assert live.cycles_through("nobody") == []
         assert live.find_any_cycle() is None
         assert live.arcs() == set()
+
+
+class TestInternerRecycling:
+    """Service-lifetime boundedness: interned ids of terminated
+    transactions and idle entities are recycled, so the interner's
+    high-water mark tracks concurrent load, not total throughput."""
+
+    def test_recycle_frees_slot_for_reuse(self):
+        interner = Interner()
+        assert interner.index("x") == 0
+        assert interner.index("y") == 1
+        assert interner.recycle("x")
+        assert not interner.recycle("x")
+        assert interner.live == 1
+        assert len(interner) == 2  # high-water mark unchanged
+        assert interner.get("x") is None
+        assert interner.index("z") == 0  # reuses the freed slot
+        assert interner.name(0) == "z"
+
+    def test_forget_txn_refuses_while_arcs_live(self):
+        table = LockTable()
+        table.request("T1", "a", EXCLUSIVE)
+        table.request("T2", "a", EXCLUSIVE)
+        assert not table.waits_for.forget_txn("T1")
+        assert not table.waits_for.forget_txn("T2")
+        table.release("T1", "a")  # grant drains the queue; arc removed
+        assert table.waits_for.forget_txn("T1")
+        counters = table.waits_for.counters_snapshot()
+        assert counters["txn_ids_recycled"] == 1
+        assert_matches_rebuild(table)
+
+    def test_manager_finish_recycles_txn_id(self):
+        from repro.locking import LockManager
+
+        manager = LockManager()
+        manager.lock("T1", "a", EXCLUSIVE)
+        manager.lock("T2", "a", EXCLUSIVE)  # blocks: T2 waits for T1
+        live = manager.table.waits_for
+        assert live.interned["txns_live"] == 2
+        manager.finish("T1")
+        manager.finish("T2")
+        assert live.interned["txns_live"] == 0
+        assert live.counters_snapshot()["txn_ids_recycled"] == 2
+
+    def test_compact_reclaims_idle_entities(self):
+        table = LockTable()
+        table.request("T1", "a", EXCLUSIVE)
+        table.request("T2", "a", EXCLUSIVE)
+        table.release("T1", "a")
+        table.release("T2", "a")
+        live = table.waits_for
+        assert live.interned["entities_live"] == 1
+        reclaimed = live.compact()
+        assert reclaimed == {"txns": 2, "entities": 1}
+        assert live.interned["entities_live"] == 0
+        assert live.interned["txns_live"] == 0
+        counters = live.counters_snapshot()
+        assert counters["entity_ids_recycled"] == 1
+        assert counters["compactions"] == 1
+        # Recycling never changes answers: fresh traffic behaves as if
+        # the structure were new.
+        table.request("T3", "a", EXCLUSIVE)
+        table.request("T4", "a", EXCLUSIVE)
+        assert_matches_rebuild(table)
+
+    def test_engine_run_recycles_committed_txn_ids(self):
+        db, programs = generate_workload(
+            WorkloadConfig(
+                n_transactions=8,
+                n_entities=4,
+                locks_per_txn=(2, 4),
+                write_ratio=1.0,
+            ),
+            seed=7,
+        )
+        scheduler = Scheduler(db)
+        engine = SimulationEngine(
+            scheduler, RandomInterleaving(7), max_steps=50_000
+        )
+        for program in programs:
+            engine.add(program)
+        result = engine.run()
+        assert result.graph_counters["txn_ids_recycled"] > 0
+        live = scheduler.lock_manager.table.waits_for
+        # Every terminated transaction's id came back.
+        assert live.interned["txns_live"] == 0
+        assert live.interned["txn_slots"] <= 8

@@ -394,3 +394,69 @@ def test_cli_top_json(capsys):
     assert main(["top", "--seed", "3", "--json"]) == 0
     obj = json.loads(capsys.readouterr().out)
     assert "hottest_entities" in obj
+
+
+# -- crash-safe streaming ----------------------------------------------------
+
+
+class TestJsonlStreaming:
+    """Flush-on-write streaming: a killed process loses at most the event
+    being written, and the on-disk bytes match the canonical export."""
+
+    def test_stream_matches_canonical_export(self, tmp_path):
+        from repro.observability.export import read_events_jsonl
+        from repro.observability.recorder import RunRecorder
+
+        path = tmp_path / "stream.jsonl"
+        recorder = RunRecorder(stream_to=path)
+        recorder.bus.publish(EventKind.STEP)
+        recorder.bus.publish(EventKind.LOCK_GRANT, "T1", entity="x")
+        # Flush-on-write: the file is complete *before* close.
+        assert path.read_text() == to_jsonl(recorder.events)
+        recorder.close()
+        loaded = read_events_jsonl(path)
+        assert loaded == recorder.events
+
+    def test_append_stitches_restart_segments(self, tmp_path):
+        from repro.observability.export import read_events_jsonl
+        from repro.observability.recorder import RunRecorder
+
+        path = tmp_path / "stream.jsonl"
+        first = RunRecorder(stream_to=path)
+        first.bus.publish(EventKind.STEP)
+        first.close()
+        second = RunRecorder(stream_to=path, append=True)
+        second.bus.publish(EventKind.WAL_RECOVER, data_field=1)
+        second.close()
+        kinds = [event.kind for event in read_events_jsonl(path)]
+        assert kinds == [EventKind.STEP, EventKind.WAL_RECOVER]
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        from repro.observability.export import read_events_jsonl
+        from repro.observability.recorder import RunRecorder
+
+        path = tmp_path / "stream.jsonl"
+        recorder = RunRecorder(stream_to=path)
+        recorder.bus.publish(EventKind.STEP)
+        recorder.bus.publish(EventKind.TXN_COMMIT, "T1")
+        recorder.close()
+        # Simulate a kill -9 mid-write: truncate inside the last line.
+        torn = path.read_text()[:-10]
+        path.write_text(torn)
+        loaded = read_events_jsonl(path)
+        assert [event.kind for event in loaded] == [EventKind.STEP]
+
+    def test_corrupt_interior_line_raises(self, tmp_path):
+        from repro.observability.export import read_events_jsonl
+
+        path = tmp_path / "stream.jsonl"
+        path.write_text('{"bad json\n{"seq": 0}\n')
+        with pytest.raises(json.JSONDecodeError):
+            read_events_jsonl(path)
+
+    def test_recorder_without_stream_has_no_sink(self):
+        from repro.observability.recorder import RunRecorder
+
+        recorder = RunRecorder()
+        assert recorder.stream is None
+        recorder.close()  # no-op, must not raise
