@@ -1,0 +1,178 @@
+"""Admission-policy ablation: does predictive admission earn its keep?
+
+The static workload analyzer recommends an MPL from lock-order inversion
+structure alone; the ``predictive`` admission policy anchors its window
+there and admits low-risk templates first.  This bench runs the same
+hostile workload (the :class:`OverloadConfig` defaults: 32 pure writers
+over 6 entities) under every admission policy and records the rollback
+bill each one pays — the paper's own cost currency, states lost to
+deadlock resolution.
+
+Besides the pytest shape test, this file is a perf-trajectory writer and
+CI gate:
+
+    python benchmarks/bench_admission.py --json BENCH_scale.json
+    python benchmarks/bench_admission.py --compare BENCH_scale.json
+
+The structural claim (predictive strictly beats fixed-mpl on rollbacks
+while committing everything) is always asserted; ``--compare`` adds the
+trajectory gate (predictive's rollback count may not drift above the
+committed row by more than the tolerance).
+"""
+
+import argparse
+import sys
+
+from conftest import report
+import perfjson
+
+from repro.admission import OverloadConfig, overload_run
+
+SECTION = "predictive_admission"
+SEED = 7
+
+#: Ablation order: no gate at all, then each policy.
+POLICIES = [None, "fixed-mpl", "aimd", "predictive"]
+
+
+def run_policy(policy, seed=SEED):
+    config = OverloadConfig(admission_policy=policy)
+    result, _guard = overload_run(config, seed=seed)
+    return {
+        "policy": policy or "none",
+        "seed": seed,
+        "committed": result.committed,
+        "rollbacks": result.rollbacks,
+        "total_restarts": result.total_rollbacks,
+        "shed": len(result.shed),
+        "starved": len(result.starved),
+        "steps": result.steps,
+        "queue_peak": result.admission_queue_peak,
+    }
+
+
+def admission_sweep(seed=SEED):
+    return [run_policy(policy, seed=seed) for policy in POLICIES]
+
+
+def structural_failures(rows):
+    """The claims that must hold regardless of any committed trajectory."""
+    by_policy = {row["policy"]: row for row in rows}
+    predictive = by_policy["predictive"]
+    fixed = by_policy["fixed-mpl"]
+    failures = []
+    if predictive["rollbacks"] >= fixed["rollbacks"]:
+        failures.append(
+            f"predictive rollbacks {predictive['rollbacks']} not below "
+            f"fixed-mpl {fixed['rollbacks']}"
+        )
+    for row in rows:
+        if row["policy"] != "none" and (row["shed"] or row["starved"]):
+            failures.append(
+                f"{row['policy']}: shed={row['shed']} "
+                f"starved={row['starved']} (expected clean completion)"
+            )
+    return failures
+
+
+def test_predictive_admission_pays_fewest_rollbacks(benchmark):
+    rows = benchmark.pedantic(admission_sweep, rounds=1, iterations=1)
+    assert structural_failures(rows) == []
+    by_policy = {row["policy"]: row for row in rows}
+    # the ungated run is the worst offender by a wide margin
+    assert by_policy["none"]["rollbacks"] > by_policy["aimd"]["rollbacks"]
+    report(
+        "admission-policy ablation (rollbacks = states lost)",
+        rows,
+        paper_note=(
+            "partial rollback bounds the cost per deadlock; predictive "
+            "admission bounds how many deadlocks form at all"
+        ),
+    )
+    benchmark.extra_info.update(
+        {f"rollbacks@{row['policy']}": row["rollbacks"] for row in rows}
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=(
+            "Run the admission-policy ablation; optionally record it "
+            "into the perf trajectory and/or gate against it."
+        )
+    )
+    parser.add_argument(
+        "--json", metavar="PATH",
+        help="write the measured rows into this trajectory file",
+    )
+    parser.add_argument(
+        "--section", default=SECTION,
+        help=f"section name to write (default: {SECTION})",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=SEED,
+        help=f"workload seed (default: {SEED})",
+    )
+    parser.add_argument(
+        "--compare", metavar="PATH",
+        help="gate the measured rows against this committed trajectory",
+    )
+    parser.add_argument(
+        "--gate", type=float, default=perfjson.DEFAULT_TOLERANCE,
+        help="allowed fractional rollback drift (default: 0.25)",
+    )
+    parser.add_argument(
+        "--recorded", default="",
+        help="provenance stamp stored with the written section",
+    )
+    args = parser.parse_args(argv)
+
+    rows = admission_sweep(seed=args.seed)
+    report("bench_admission ablation", rows)
+
+    failures = structural_failures(rows)
+    if args.json:
+        perfjson.update_section(
+            args.json, args.section, rows, recorded=args.recorded,
+            note=(
+                "admission-policy ablation on the default hostile "
+                "workload; rollbacks = deadlock victims (lower is better)"
+            ),
+        )
+        print(f"wrote section {args.section!r} to {args.json}")
+    if args.compare:
+        committed = {
+            row["policy"]: row
+            for row in perfjson.section_rows(
+                perfjson.load(args.compare), args.section
+            )
+        }
+        for row in rows:
+            reference = committed.get(row["policy"])
+            if reference is None:
+                failures.append(
+                    f"{row['policy']}: no committed row to gate against "
+                    f"— refresh with --json {args.compare}"
+                )
+                continue
+            # rollbacks: lower is better, so gate on upward drift
+            ceiling = reference["rollbacks"] * (1.0 + args.gate)
+            if row["rollbacks"] > ceiling:
+                failures.append(
+                    f"{row['policy']}: rollbacks {row['rollbacks']} is "
+                    f"more than {args.gate:.0%} above committed "
+                    f"{reference['rollbacks']} (ceiling {ceiling:.0f})"
+                )
+    if failures:
+        for failure in failures:
+            print(f"ADMISSION GATE FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        "admission gate OK: predictive < fixed-mpl on rollbacks"
+        + (f", within {args.gate:.0%} of {args.compare}" if args.compare else "")
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,15 @@ admit them into a rollback storm.  Two policies ship:
     seeded probabilistic extra probe) while the system is healthy.  The
     same seed always yields the same window trajectory for the same
     observation sequence.
+``predictive``
+    Seeds its window from the *static* risk analysis of the workload
+    (:mod:`repro.staticcheck.workload`): the recommended MPL is the
+    largest window whose expected number of deadlocking pairs stays
+    within a budget, given the workload's measured lock-order inversion
+    structure.  At runtime the window adapts AIMD-style around that
+    anchor (never above twice the recommendation), and the policy
+    exposes a :meth:`~PredictivePolicy.priority` hook the controller
+    uses to admit low-risk templates first under backlog.
 """
 
 from __future__ import annotations
@@ -22,7 +31,11 @@ from __future__ import annotations
 import abc
 import random
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.transaction import TransactionProgram
+    from ..staticcheck.workload import RiskReport
 
 
 @dataclass(frozen=True)
@@ -136,10 +149,106 @@ class AimdPolicy(AdmissionPolicy):
         self.history.append((snapshot.step, self._window))
 
 
+class PredictivePolicy(AdmissionPolicy):
+    """Risk-anchored admission (probabilistic deadlock prevention).
+
+    The static workload analyzer scores every transaction template's
+    lock-order inversion structure and recommends the largest MPL whose
+    expected deadlocking pairs fit a budget; this policy starts there
+    and adapts deterministically around that anchor: a rollback rate
+    above ``rollback_threshold`` over the last ``window_steps`` halves
+    the window (floored at ``min_window``); a healthy window grows by
+    one, capped at twice the recommendation (contention risk is
+    quadratic in the window, so drifting far above the anchor defeats
+    the prediction).  No randomness: the same report and observation
+    sequence always yield the same trajectory.
+
+    :meth:`priority` ranks programs by their template's risk score so
+    the controller can admit low-risk work first while a backlog holds
+    high-risk templates back (throttle-by-reordering).
+    """
+
+    name = "predictive"
+
+    def __init__(
+        self,
+        report: "RiskReport | None" = None,
+        budget: float = 0.5,
+        initial: int = 8,
+        min_window: int = 1,
+        max_window: int = 64,
+        window_steps: int = 40,
+        rollback_threshold: float = 0.5,
+    ) -> None:
+        if not 1 <= min_window <= max_window:
+            raise ValueError("1 <= min_window <= max_window required")
+        if window_steps < 1:
+            raise ValueError("window_steps must be positive")
+        if not 0.0 <= rollback_threshold <= 1.0:
+            raise ValueError("rollback_threshold must be in [0, 1]")
+        self.report = report
+        anchor = (
+            report.recommended_mpl(budget) if report is not None else initial
+        )
+        self.recommended = max(min_window, min(max_window, anchor))
+        self.min_window = min_window
+        self.max_window = min(max_window, 2 * self.recommended)
+        self.window_steps = window_steps
+        self.rollback_threshold = rollback_threshold
+        self._window = self.recommended
+        self._adapted_at = 0
+        self._rollbacks_then = 0
+        self._commits_then = 0
+        self._risk_cache: dict[str, float] = {}
+        #: (step, window) after every adaptation, for reporting.
+        self.history: list[tuple[int, int]] = []
+
+    @property
+    def window(self) -> int:
+        """The current admitted-transaction window."""
+        return self._window
+
+    def priority(self, program: "TransactionProgram") -> float:
+        """Risk score of *program*'s template (lower admits first)."""
+        cached = self._risk_cache.get(program.txn_id)
+        if cached is not None:
+            return cached
+        if self.report is None:
+            risk = 0.0
+        else:
+            from ..staticcheck.workload import TransactionTemplate
+
+            risk = self.report.risk_of(
+                TransactionTemplate.from_program(program)
+            )
+        self._risk_cache[program.txn_id] = risk
+        return risk
+
+    def capacity(self, snapshot: AdmissionSnapshot) -> int:
+        if snapshot.step - self._adapted_at >= self.window_steps:
+            self._adapt(snapshot)
+        return self._window
+
+    def _adapt(self, snapshot: AdmissionSnapshot) -> None:
+        d_rollbacks = snapshot.rollbacks - self._rollbacks_then
+        d_commits = snapshot.commits - self._commits_then
+        observed = d_rollbacks + d_commits
+        rate = d_rollbacks / observed if observed else 0.0
+        if rate > self.rollback_threshold:
+            self._window = max(self.min_window, self._window // 2)
+        else:
+            self._window = min(self.max_window, self._window + 1)
+        self._adapted_at = snapshot.step
+        self._rollbacks_then = snapshot.rollbacks
+        self._commits_then = snapshot.commits
+        self.history.append((snapshot.step, self._window))
+
+
 #: Registry of selectable admission policies, in documentation order.
 _ADMISSION_POLICY_REGISTRY: dict[str, Callable[..., AdmissionPolicy]] = {
     "fixed-mpl": FixedMplPolicy,
     "aimd": AimdPolicy,
+    "predictive": PredictivePolicy,
 }
 
 

@@ -32,8 +32,18 @@ from ..simulation.workload import WorkloadConfig, generate_workload
 from .controller import AdmissionController
 from .deadlines import DeadlineEnforcer
 from .guard import OverloadGuard
-from .policies import AimdPolicy, FixedMplPolicy
+from .policies import AimdPolicy, FixedMplPolicy, PredictivePolicy
 from .watchdog import StarvationWatchdog
+
+
+def _workload_config(config: "OverloadConfig") -> WorkloadConfig:
+    """The synthetic workload one stress config describes."""
+    return WorkloadConfig(
+        n_transactions=config.n_transactions,
+        n_entities=config.n_entities,
+        locks_per_txn=config.locks_per_txn,
+        write_ratio=config.write_ratio,
+    )
 
 
 @dataclass
@@ -72,7 +82,9 @@ class OverloadConfig:
             raise ValueError("interarrival must be non-negative")
         if self.deadline_steps < 0:
             raise ValueError("deadline_steps must be non-negative")
-        if self.admission_policy not in (None, "fixed-mpl", "aimd"):
+        if self.admission_policy not in (
+            None, "fixed-mpl", "aimd", "predictive",
+        ):
             raise ValueError(
                 f"unknown admission policy {self.admission_policy!r}"
             )
@@ -182,6 +194,23 @@ def build_guard(config: OverloadConfig, scheduler: Scheduler, seed: int) -> (
                 seed=seed,
             )
         )
+    elif config.admission_policy == "predictive":
+        # Static risk analysis of the exact workload this run will
+        # generate (same config, same seed — generation is pure, so no
+        # execution happens here).  The policy anchors its window on the
+        # analyzer's recommended MPL and reorders admission by template
+        # risk.
+        from ..staticcheck.workload import analyze_config
+
+        controller = AdmissionController(
+            PredictivePolicy(
+                report=analyze_config(_workload_config(config), seed=seed),
+                min_window=config.aimd_min_window,
+                max_window=config.aimd_max_window,
+                window_steps=config.aimd_window_steps,
+                rollback_threshold=config.aimd_rollback_threshold,
+            )
+        )
     deadlines = (
         DeadlineEnforcer(config.deadline_steps)
         if config.deadline_steps
@@ -214,13 +243,9 @@ def overload_run(
     arrival is scheduled — the hook the observability recorder uses to
     install its event bus on the scheduler.
     """
-    workload = WorkloadConfig(
-        n_transactions=config.n_transactions,
-        n_entities=config.n_entities,
-        locks_per_txn=config.locks_per_txn,
-        write_ratio=config.write_ratio,
+    database, programs = generate_workload(
+        _workload_config(config), seed=seed
     )
-    database, programs = generate_workload(workload, seed=seed)
     scheduler = Scheduler(
         database, strategy=config.strategy, policy=config.policy
     )
@@ -275,10 +300,11 @@ def _report(
     )
     admitted = metrics.admitted
     window_history: list[tuple[int, int]] = []
-    if guard.controller is not None and isinstance(
-        guard.controller.policy, AimdPolicy
-    ):
-        window_history = list(guard.controller.policy.history)
+    if guard.controller is not None:
+        # Any adaptive policy (aimd, predictive) reports its trajectory.
+        window_history = list(
+            getattr(guard.controller.policy, "history", ())
+        )
     verdict: dict[str, object] = {}
     if guard.watchdog is not None:
         verdict = guard.watchdog.verdict(scheduler)

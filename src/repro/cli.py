@@ -28,10 +28,17 @@ Commands
     (see ``docs/RESILIENCE.md``).
 ``lint``
     The repo's own static analysis: determinism / lock-discipline /
-    registration rules (RR001–RR005) plus ``--predict``, which builds a
-    lock-order graph from each recorded regression trace and reports
-    deadlocks reachable in *alternate* interleavings, cross-validated
-    by engine replay (see ``docs/STATIC_ANALYSIS.md``).
+    registration rules (RR001–RR006) plus ``--predict``, which lifts
+    each recorded regression trace (or ``--journal`` service journal)
+    into abstract lock events with vector clocks and reports deadlocks
+    reachable in *alternate* interleavings, cross-validated by engine
+    replay (see ``docs/STATIC_ANALYSIS.md``).
+``advise``
+    Static workload risk analysis without executing anything: lock-order
+    inversion structure over the generated (or journal-harvested)
+    transaction templates, a per-template risk score, and a recommended
+    multiprogramming level that ``overload --admission predictive``
+    anchors its window at (see ``docs/STATIC_ANALYSIS.md``).
 ``trace``
     Record a named scenario (or a seeded synthetic run) with the
     observability bus attached and export the event stream as JSONL,
@@ -43,8 +50,9 @@ Commands
     longest-blocked transactions, rollback victims, and the state of the
     admission / watchdog / breaker machinery as of a step.
 
-``fuzz``, ``chaos``, ``overload``, ``lint`` and ``trace --smoke`` exit
-non-zero when anything fires, so CI can gate on them directly.
+``fuzz``, ``chaos``, ``overload``, ``lint``, ``advise --smoke`` and
+``trace --smoke`` exit non-zero when anything fires, so CI can gate on
+them directly.
 """
 
 from __future__ import annotations
@@ -395,6 +403,68 @@ def cmd_overload(args) -> int:
     return 0 if report.no_starvation else 1
 
 
+def cmd_advise(args) -> int:
+    from .simulation.workload import WorkloadConfig
+    from .staticcheck.workload import analyze_config, analyze_journal
+
+    def build_report():
+        if args.journal:
+            return analyze_journal(
+                args.journal, max_cycle_length=args.max_cycle_length
+            )
+        config = WorkloadConfig(
+            n_transactions=args.transactions,
+            n_entities=args.entities,
+            locks_per_txn=tuple(args.locks),
+            write_ratio=args.write_ratio,
+            skew=args.skew,
+        )
+        return analyze_config(
+            config,
+            seed=args.seed,
+            max_cycle_length=args.max_cycle_length,
+        )
+
+    if args.smoke:
+        # CI gate: analyze a fixed hostile workload twice, require
+        # byte-identical JSON and a sane verdict; any internal error
+        # (exception, score out of range) exits non-zero.
+        try:
+            hot = WorkloadConfig(
+                n_transactions=32,
+                n_entities=6,
+                locks_per_txn=(2, 4),
+                write_ratio=1.0,
+            )
+            first = analyze_config(hot, seed=args.seed)
+            second = analyze_config(hot, seed=args.seed)
+            identical = first.to_json() == second.to_json()
+            sane = (
+                0.0 <= first.mean_pair_risk <= 1.0
+                and first.recommended_mpl() >= 1
+                and first.total_templates == 32
+                and all(0.0 <= c.score <= 1.0 for c in first.classes)
+            )
+            print(f"deterministic        {identical}")
+            print(f"sane                 {sane}")
+            print(first.describe())
+            return 0 if identical and sane else 1
+        except Exception as exc:  # noqa: BLE001 - the gate must not pass
+            print(f"advise smoke failed: {exc!r}")
+            return 1
+
+    report = build_report()
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.describe())
+        print(
+            f"suggested            repro overload --admission predictive, "
+            f"or fixed-mpl --mpl {report.recommended_mpl(args.budget)}"
+        )
+    return 0
+
+
 def cmd_lint(args) -> int:
     import json
     from pathlib import Path
@@ -403,6 +473,7 @@ def cmd_lint(args) -> int:
         all_rules,
         default_checkers,
         predict_corpus,
+        predict_journal,
         run_lint,
     )
 
@@ -455,17 +526,38 @@ def cmd_lint(args) -> int:
             f"{len(report.suppressed)} suppressed"
         )
 
-    if args.predict:
+    if args.predict or args.journal:
         print()
         alternates = 0
-        for pred in predict_corpus(
-            args.corpus, max_cycle_length=args.max_cycle_length
-        ):
+        reports = []
+        if args.predict:
+            reports.extend(
+                predict_corpus(
+                    args.corpus,
+                    max_cycle_length=args.max_cycle_length,
+                    method=args.method,
+                )
+            )
+        for journal in args.journal or ():
+            reports.append(
+                predict_journal(
+                    journal,
+                    max_cycle_length=args.max_cycle_length,
+                    method=args.method,
+                )
+            )
+        for pred in reports:
+            segments = (
+                f", {pred.segments} boot segment(s)"
+                if pred.segments > 1
+                else ""
+            )
             print(
                 f"{pred.case_path}: {pred.acquisitions} acquisitions, "
                 f"{pred.edges} lock-order edges, "
                 f"{pred.trace_deadlocks} deadlock(s) in the recorded "
-                f"trace, {len(pred.predicted)} predicted cycle(s)"
+                f"trace, {len(pred.predicted)} predicted cycle(s) "
+                f"[{pred.method}{segments}]"
             )
             for deadlock in pred.predicted:
                 print(f"  {deadlock.describe()}")
@@ -848,9 +940,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="steps between arrivals (0 = closed loop: "
                              "everything arrives at step 0)")
     p_over.add_argument("--admission",
-                        choices=("aimd", "fixed-mpl", "none"),
+                        choices=("aimd", "fixed-mpl", "predictive", "none"),
                         default="aimd",
-                        help="admission policy gating registration")
+                        help="admission policy gating registration "
+                             "(predictive = static workload risk scoring, "
+                             "see repro advise)")
     p_over.add_argument("--mpl", type=int, default=8,
                         help="multiprogramming level for fixed-mpl")
     p_over.add_argument("--deadline", type=int, default=600,
@@ -989,9 +1083,52 @@ def build_parser() -> argparse.ArgumentParser:
                              "reachable in alternate interleavings")
     p_lint.add_argument("--corpus", default="tests/regressions",
                         help="regression-case directory for --predict")
-    p_lint.add_argument("--max-cycle-length", type=int, default=3,
-                        help="largest predicted cycle to search for")
+    p_lint.add_argument("--method",
+                        choices=("partial-order", "gate-lock"),
+                        default="partial-order",
+                        help="feasibility model: the sound partial-order "
+                             "closure (vector clocks, depth 4) or the "
+                             "legacy gate-lock heuristic (depth 3)")
+    p_lint.add_argument("--journal", action="append", default=None,
+                        metavar="JSONL",
+                        help="also predict from this service journal "
+                             "(repeatable; boot segments become "
+                             "happens-before barriers)")
+    p_lint.add_argument("--max-cycle-length", type=int, default=None,
+                        help="largest predicted cycle to search for "
+                             "(default: 4 partial-order, 3 gate-lock)")
     p_lint.set_defaults(fn=cmd_lint)
+
+    p_advise = sub.add_parser(
+        "advise",
+        help="static workload deadlock-risk scoring and MPL advice "
+             "(see docs/STATIC_ANALYSIS.md)",
+    )
+    p_advise.add_argument("--seed", type=int, default=0,
+                          help="workload generation seed")
+    p_advise.add_argument("--transactions", type=int, default=32)
+    p_advise.add_argument("--entities", type=int, default=6)
+    p_advise.add_argument("--locks", type=int, nargs=2, default=(2, 4),
+                          metavar=("MIN", "MAX"))
+    p_advise.add_argument("--write-ratio", type=float, default=1.0)
+    p_advise.add_argument("--skew",
+                          choices=("uniform", "zipf", "hotspot"),
+                          default="uniform")
+    p_advise.add_argument("--journal", default=None, metavar="JSONL",
+                          help="score the workload a service journal "
+                               "recorded instead of generating one")
+    p_advise.add_argument("--budget", type=float, default=0.5,
+                          help="expected-deadlock budget behind the MPL "
+                               "recommendation")
+    p_advise.add_argument("--max-cycle-length", type=int, default=4,
+                          help="largest cross-class entity ring to "
+                               "search for")
+    p_advise.add_argument("--json", action="store_true",
+                          help="machine-readable report on stdout")
+    p_advise.add_argument("--smoke", action="store_true",
+                          help="CI gate: fixed workload analyzed twice, "
+                               "byte-identical and sane or non-zero exit")
+    p_advise.set_defaults(fn=cmd_advise)
     return parser
 
 

@@ -54,6 +54,8 @@ class EventKind(enum.Enum):
     ADMISSION_SUBMIT = "admission.submit"
     ADMISSION_ADMIT = "admission.admit"
     ADMISSION_WINDOW = "admission.window"
+    ADMISSION_REORDER = "admission.reorder"
+    PREDICT_RISK = "predict.risk"
     DEADLINE_RUNG = "deadline.rung"
     IMMUNITY_GRANT = "watchdog.immunity-grant"
     IMMUNITY_HANDOFF = "watchdog.immunity-handoff"

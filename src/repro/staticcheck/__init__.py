@@ -15,16 +15,29 @@ Two pillars:
   discipline, RR003 registration completeness, RR004 seeded-Random
   plumbing, RR005 metrics-mutation discipline), exposed as
   ``repro lint``;
-* :mod:`~repro.staticcheck.predict` — trace-based deadlock prediction:
-  a lock-order graph built from one recorded execution, cycles that are
-  feasible in *alternate* interleavings, each cross-validated by
-  replaying a synthesized witness schedule through the real engine
-  (``repro lint --predict``).
+* :mod:`~repro.staticcheck.predict` (with
+  :mod:`~repro.staticcheck.events`) — sound partial-order deadlock
+  prediction: abstract lock events with vector clocks harvested from
+  engine replays, fuzz corpora, and service journals; a lock-order
+  graph whose feasible cycles are each cross-validated by replaying a
+  synthesized witness schedule through the real engine
+  (``repro lint --predict``);
+* :mod:`~repro.staticcheck.workload` — static workload risk analysis:
+  transaction templates scored for lock-order inversion structure
+  without executing anything, feeding ``repro advise`` and the
+  ``predictive`` admission policy.
 
 See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue and rationale.
 """
 
 from .checkers import all_rules, default_checkers
+from .events import (
+    AbstractLockEvent,
+    JournalTrace,
+    concurrent,
+    happens_before,
+    harvest_journal,
+)
 from .framework import (
     Checker,
     Finding,
@@ -34,27 +47,54 @@ from .framework import (
     run_lint,
 )
 from .predict import (
+    METHODS,
     LockEdge,
     LockOrderGraph,
     PredictedDeadlock,
     PredictionReport,
     predict_case,
     predict_corpus,
+    predict_journal,
+)
+from .workload import (
+    RiskReport,
+    TransactionTemplate,
+    WorkloadClass,
+    analyze_classes,
+    analyze_config,
+    analyze_journal,
+    analyze_programs,
+    analyze_sequences,
 )
 
 __all__ = [
+    "METHODS",
+    "AbstractLockEvent",
     "Checker",
     "Finding",
+    "JournalTrace",
     "LintReport",
     "LockEdge",
     "LockOrderGraph",
     "Module",
     "PredictedDeadlock",
     "PredictionReport",
+    "RiskReport",
+    "TransactionTemplate",
+    "WorkloadClass",
     "all_rules",
+    "analyze_classes",
+    "analyze_config",
+    "analyze_journal",
+    "analyze_programs",
+    "analyze_sequences",
+    "concurrent",
     "default_checkers",
+    "happens_before",
+    "harvest_journal",
     "load_module",
     "predict_case",
     "predict_corpus",
+    "predict_journal",
     "run_lint",
 ]

@@ -15,6 +15,9 @@ RR004 Seeded-Random plumbing: every ``random.Random`` construction
 RR005 Metrics discipline: counters mutate only through
       ``Metrics.bump`` so the aggregate counters and the event bus
       cannot diverge.
+RR006 Await discipline: an ``async def`` must not ``await`` after
+      opening a lock-table / service-core mutation — the event loop
+      would interleave another handler into the half-applied state.
 ===== =============================================================
 
 ``default_checkers()`` is the suite ``repro lint`` runs; the rules'
@@ -27,8 +30,10 @@ from .rr002_locks import LockDisciplineChecker
 from .rr003_registration import RegistrationChecker
 from .rr004_seeding import SeededRandomChecker
 from .rr005_metrics import MetricsDisciplineChecker
+from .rr006_await import AwaitDisciplineChecker
 
 __all__ = [
+    "AwaitDisciplineChecker",
     "LockDisciplineChecker",
     "MetricsDisciplineChecker",
     "NondeterminismChecker",
@@ -47,6 +52,7 @@ def default_checkers() -> list[Checker]:
         RegistrationChecker(),
         SeededRandomChecker(),
         MetricsDisciplineChecker(),
+        AwaitDisciplineChecker(),
     ]
 
 

@@ -1,0 +1,256 @@
+"""Abstract lock events with vector clocks (the partial-order substrate).
+
+The predictor in :mod:`repro.staticcheck.predict` reasons about *traces*:
+sequences of granted lock acquisitions harvested from a recorded run.
+This module gives those acquisitions a partial-order semantics — the
+sound happens-before relation of the lock-graph school of dynamic
+deadlock prediction (Goodlock and its partial-order refinements,
+PAPERS.md) — so feasibility questions ("could these four blocking
+points coexist in *some* reordering?") become vector-clock questions.
+
+The happens-before relation for this system has exactly two sources:
+
+* **program order** — every transaction program is straight-line, so
+  its own acquisitions are totally ordered;
+* **boot-segment barriers** — a service journal spans server restarts;
+  every event of boot segment *k* happens-before every event of segment
+  *k + 1* (the crash is a global synchronisation point: nothing that
+  ran only after the restart can be reordered before it).
+
+There is deliberately **no** edge for the scheduler's own interleaving
+choices: reordering those is precisely what the predictive closure
+explores.  Two acquisitions are *concurrent* (mutually reorderable) iff
+neither happens-before the other — same segment, different
+transactions.  Vector clocks make that check O(1) per pair while
+staying exact for richer orders (more barrier sources can be added
+without touching the consumers).
+
+Harvest adapters produce :class:`AbstractLockEvent` streams from the
+two trace sources the predictor consumes:
+
+* :func:`events_from_acquisitions` — engine replays and fuzz corpora
+  (one boot segment, program order only);
+* :func:`harvest_journal` — service WAL/request journals read via
+  :func:`repro.observability.export.read_events_jsonl`, tracking grants,
+  partial rollbacks, commits, sheds, and ``SERVICE_RECOVER`` barriers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Protocol
+
+from ..locking.modes import LockMode
+from ..observability.events import EventKind
+from ..observability.export import read_events_jsonl
+
+#: The pseudo-component carrying boot-segment barrier ticks.  Real
+#: transaction ids are ``T``-prefixed, so this cannot collide.
+BARRIER = "__boot__"
+
+
+class _AcquisitionLike(Protocol):
+    """What the engine-trace adapter needs from a harvested grant."""
+
+    txn: str
+    entity: str
+    mode: LockMode
+    held_before: tuple[tuple[str, LockMode], ...]
+
+
+@dataclass(frozen=True)
+class AbstractLockEvent:
+    """One granted acquisition, abstracted out of its concrete run.
+
+    ``pos`` is the per-transaction acquisition ordinal (program order),
+    ``segment`` the boot segment the grant happened in, ``held_before``
+    the locks the transaction already held (entity, mode) at the grant,
+    and ``clock`` the frozen vector clock — a sorted tuple of
+    ``(component, tick)`` pairs over transaction ids plus :data:`BARRIER`.
+    """
+
+    txn: str
+    entity: str
+    mode: LockMode
+    pos: int
+    segment: int
+    held_before: tuple[tuple[str, LockMode], ...]
+    clock: tuple[tuple[str, int], ...]
+
+    def tick(self, component: str) -> int:
+        """This event's clock value for *component* (0 when absent)."""
+        for name, value in self.clock:
+            if name == component:
+                return value
+        return 0
+
+
+def happens_before(a: AbstractLockEvent, b: AbstractLockEvent) -> bool:
+    """``a`` happens-before ``b`` under program order + barriers."""
+    if a is b:
+        return False
+    return a.tick(a.txn) <= b.tick(a.txn) and (
+        a.txn != b.txn or a.pos < b.pos
+    )
+
+
+def concurrent(a: AbstractLockEvent, b: AbstractLockEvent) -> bool:
+    """Neither ordered before the other — mutually reorderable."""
+    return (
+        a.txn != b.txn
+        and not happens_before(a, b)
+        and not happens_before(b, a)
+    )
+
+
+class _ClockBuilder:
+    """Assigns vector clocks while a trace is replayed in order.
+
+    Each transaction owns one clock component, advanced at every one of
+    its events; a barrier joins *every* clock seen so far into the
+    barrier frontier, so post-barrier events dominate all pre-barrier
+    ones.  Purely incremental — callers feed events in trace order.
+    """
+
+    def __init__(self) -> None:
+        self._txn_clocks: dict[str, dict[str, int]] = {}
+        self._frontier: dict[str, int] = {}
+        self.segment = 0
+
+    def barrier(self) -> None:
+        """A global synchronisation point (server restart)."""
+        for clock in self._txn_clocks.values():
+            for component, tick in clock.items():
+                if tick > self._frontier.get(component, 0):
+                    self._frontier[component] = tick
+        self.segment += 1
+        self._frontier[BARRIER] = self.segment
+
+    def stamp(self, txn: str) -> tuple[tuple[str, int], ...]:
+        """Advance *txn*'s clock past the frontier; return it frozen."""
+        clock = self._txn_clocks.setdefault(txn, {})
+        for component, tick in self._frontier.items():
+            if tick > clock.get(component, 0):
+                clock[component] = tick
+        clock[txn] = clock.get(txn, 0) + 1
+        return tuple(sorted(clock.items()))
+
+
+def events_from_acquisitions(
+    acquisitions: Iterable[_AcquisitionLike],
+) -> list[AbstractLockEvent]:
+    """Abstract an engine-harvested acquisition stream (one segment)."""
+    clocks = _ClockBuilder()
+    positions: dict[str, int] = {}
+    events: list[AbstractLockEvent] = []
+    for acq in acquisitions:
+        pos = positions.get(acq.txn, 0)
+        positions[acq.txn] = pos + 1
+        events.append(
+            AbstractLockEvent(
+                txn=acq.txn,
+                entity=acq.entity,
+                mode=acq.mode,
+                pos=pos,
+                segment=0,
+                held_before=acq.held_before,
+                clock=clocks.stamp(acq.txn),
+            )
+        )
+    return events
+
+
+@dataclass
+class JournalTrace:
+    """Everything the journal adapter recovered from one JSONL file.
+
+    ``lock_sequences`` maps each transaction to its full granted
+    ``(entity, mode)`` sequence — the straight-line lock program the
+    witness synthesiser replays; ``observed_deadlocks`` the transaction
+    sets the live detector already reported (so predictions can be
+    classified observed vs alternate-interleaving); ``segments`` how
+    many boot segments the journal spans.
+    """
+
+    path: str
+    events: list[AbstractLockEvent] = field(default_factory=list)
+    lock_sequences: dict[str, tuple[tuple[str, LockMode], ...]] = field(
+        default_factory=dict
+    )
+    observed_deadlocks: list[frozenset[str]] = field(default_factory=list)
+    segments: int = 1
+
+    @property
+    def entities(self) -> list[str]:
+        """Every entity any grant touched, sorted."""
+        return sorted({event.entity for event in self.events})
+
+
+_MODES = {"S": LockMode.SHARED, "X": LockMode.EXCLUSIVE}
+
+
+def harvest_journal(path: str | Path) -> JournalTrace:
+    """Abstract a service journal into lock events with vector clocks.
+
+    Replays the journal's grant/rollback/commit/shed bookkeeping: a
+    partial ``ROLLBACK`` to lock ordinal *k* truncates the held set to
+    its first *k* grants (the paper's partial-rollback semantics);
+    commits and sheds clear it.  ``SERVICE_RECOVER`` markers after the
+    first lock activity advance the boot segment and the barrier clock.
+    """
+    trace = JournalTrace(path=str(path))
+    clocks = _ClockBuilder()
+    held: dict[str, list[tuple[str, LockMode]]] = {}
+    positions: dict[str, int] = {}
+    sequences: dict[str, list[tuple[str, LockMode]]] = {}
+    saw_activity = False
+    for event in read_events_jsonl(path):
+        if event.kind is EventKind.SERVICE_RECOVER:
+            if saw_activity:
+                clocks.barrier()
+            continue
+        if event.kind is EventKind.LOCK_GRANT:
+            txn = event.txn
+            entity = str(event.data.get("entity", ""))
+            mode = _MODES.get(str(event.data.get("mode", "X")), LockMode.EXCLUSIVE)
+            if not txn or not entity:
+                continue
+            saw_activity = True
+            pos = positions.get(txn, 0)
+            positions[txn] = pos + 1
+            trace.events.append(
+                AbstractLockEvent(
+                    txn=txn,
+                    entity=entity,
+                    mode=mode,
+                    pos=pos,
+                    segment=clocks.segment,
+                    held_before=tuple(held.get(txn, ())),
+                    clock=clocks.stamp(txn),
+                )
+            )
+            held.setdefault(txn, []).append((entity, mode))
+            sequence = sequences.setdefault(txn, [])
+            if (entity, mode) not in sequence:
+                sequence.append((entity, mode))
+        elif event.kind is EventKind.ROLLBACK:
+            target = event.data.get("target")
+            if event.txn in held and isinstance(target, int):
+                # Partial rollback to lock ordinal *target*: grants past
+                # it are released (ordinal 0 = total restart).
+                held[event.txn] = held[event.txn][:target]
+        elif event.kind in (EventKind.TXN_COMMIT, EventKind.TXN_SHED):
+            held.pop(event.txn, None)
+        elif event.kind is EventKind.DEADLOCK:
+            cycles = event.data.get("cycles", [])
+            for cycle in cycles:
+                if isinstance(cycle, list) and cycle:
+                    trace.observed_deadlocks.append(
+                        frozenset(str(t) for t in cycle)
+                    )
+    trace.lock_sequences = {
+        txn: tuple(sequence) for txn, sequence in sequences.items()
+    }
+    trace.segments = clocks.segment + 1
+    return trace

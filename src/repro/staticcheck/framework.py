@@ -15,6 +15,12 @@ The bracketed list names the rules being waived on that physical line;
 the trailing free text is the justification.  A pragma without a
 justification still suppresses, but ``repro lint`` reports it so bare
 waivers stay visible in review.
+
+Rule codes are extracted from the bracket region by token, not by
+splitting the whole region on commas, so punctuation in the region —
+a parenthetical, a stray ``[`` from quoted code — cannot silently kill
+the pragma, and ``noqa[RR001 RR002]`` (space-separated) waives both
+rules rather than neither.
 """
 
 from __future__ import annotations
@@ -26,9 +32,12 @@ from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
 #: ``# repro: noqa[RR001]`` or ``# repro: noqa[RR001,RR004] because ...``
+#: The bracket region is anything up to the first ``]``; rule codes are
+#: pulled out of it by token so commentary inside the brackets is inert.
 _NOQA_RE = re.compile(
-    r"#\s*repro:\s*noqa\[(?P<rules>[A-Za-z0-9_,\s]+)\]\s*(?P<why>.*)$"
+    r"#\s*repro:\s*noqa\[(?P<rules>[^\]]*)\]\s*(?P<why>.*)$"
 )
+_RULE_TOKEN_RE = re.compile(r"RR\d+", re.IGNORECASE)
 
 
 @dataclass(frozen=True)
@@ -40,9 +49,16 @@ class Finding:
     path: str
     line: int
     col: int = 0
+    #: ``"error"`` findings are protocol violations; ``"warning"``
+    #: findings are interleaving hazards a human should stare at.  Both
+    #: fail ``repro lint`` — severity only grades how CI annotates them.
+    severity: str = "error"
 
     def render(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.severity}: {self.rule} {self.message}"
+        )
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -51,6 +67,7 @@ class Finding:
             "path": self.path,
             "line": self.line,
             "col": self.col,
+            "severity": self.severity,
         }
 
 
@@ -96,6 +113,7 @@ class Checker:
 
     rule: str = "RR000"
     title: str = "abstract"
+    severity: str = "error"
 
     def check_module(self, module: Module) -> Iterable[Finding]:
         return ()
@@ -112,6 +130,7 @@ class Checker:
             path=str(module.path),
             line=getattr(node, "lineno", 1),
             col=getattr(node, "col_offset", 0),
+            severity=self.severity,
         )
 
 
@@ -134,15 +153,20 @@ def _parse_suppressions(source: str) -> list[Suppression]:
         if match is None:
             continue
         rules = tuple(
-            token.strip().upper()
-            for token in match.group("rules").split(",")
-            if token.strip()
+            dict.fromkeys(
+                token.upper()
+                for token in _RULE_TOKEN_RE.findall(match.group("rules"))
+            )
         )
+        if not rules:
+            continue
         suppressions.append(
             Suppression(
                 line=lineno,
                 rules=rules,
-                justification=match.group("why").strip(" -"),
+                # Leading ``)]`` is debris from commentary inside the
+                # bracket region; it is not part of the justification.
+                justification=match.group("why").lstrip(")] ").strip(" -"),
             )
         )
     return suppressions

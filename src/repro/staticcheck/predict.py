@@ -6,41 +6,63 @@ participant into its blocking position simultaneously.  But a *single*
 trace already reveals the ingredient that makes those interleavings
 dangerous: the lock-order relation.  Following the lock-graph school of
 dynamic deadlock prediction (Goodlock and its partial-order
-refinements), this module
+refinements, PAPERS.md), this module
 
-1. **replays** a recorded :class:`~repro.verification.cases.ReplayCase`
-   through the real engine and harvests every lock acquisition together
-   with the set of locks the acquiring transaction already held;
+1. **harvests** abstract lock events — either by replaying a recorded
+   :class:`~repro.verification.cases.ReplayCase` through the real
+   engine, or by reading a service WAL/request journal
+   (:func:`~repro.staticcheck.events.harvest_journal`) — each event
+   carrying the acquiring transaction's held set and a vector clock
+   over the sound happens-before order (program order plus boot-segment
+   barriers, see :mod:`repro.staticcheck.events`);
 2. builds the **lock-order graph** — an arc ``e1 -> e2`` whenever some
    transaction acquired ``e2`` while holding ``e1`` — and enumerates
    its cycles with one transaction per arc;
-3. applies a **partial-order feasibility check**: a cycle is reported
-   only if the participating acquisition points are mutually reachable
-   in *some* interleaving — no two participants held a common guard
-   lock in incompatible modes at their acquisition points (a shared
-   gate serialises them and makes the cycle a false positive), and
-   each waiter's requested mode actually conflicts with the next
-   holder's mode;
+3. applies the **predictive closure's feasibility check**: a cycle is
+   reported only if its blocking acquisitions are pairwise *concurrent*
+   under the partial order (vector clocks — a crash barrier between two
+   acquisitions makes their reordering unreal), no two participants
+   held a common guard lock in incompatible modes (a shared gate
+   serialises their blocking points), and each waiter's requested mode
+   conflicts with the next holder's mode;
 4. **cross-validates** every feasible cycle against the engine itself:
    a witness schedule is synthesized (run each participant up to its
    blocking position, then let each issue its fatal request) and
    replayed; the prediction counts as *confirmed* only if the engine's
    own detector reports the predicted cycle.
 
+Because this repo's transaction programs are straight-line and
+two-phase (no lock follows an unlock), held sets grow monotonically up
+to each blocking point, which makes the pairwise feasibility check
+exact and the serial-prefix witness complete *for this program class*:
+every feasible cycle is realizable, so ``repro lint --predict`` fails
+if any feasible prediction cannot be confirmed (that would mean the
+closure over-approximated).
+
+Two selectable methods (``method=`` on every entry point):
+
+``partial-order``
+    The sound closure above; default search depth 4 arcs.
+``gate-lock``
+    The legacy heuristic this repo shipped first: same guard and
+    mode-conflict tests but no vector clocks and a depth-3 default.
+    Kept as the baseline the regression suite compares against — the
+    partial-order method must find a superset of its confirmed
+    witnesses (see ``tests/regressions/clean_ring4_seed131_serial.json``
+    for a 4-ring it provably misses).
+
 A confirmed cycle whose transaction set never deadlocked in the
 original trace is an **alternate-interleaving deadlock** — the run was
-one scheduler decision away from it.  ``repro lint --predict`` runs
-this over the regression corpus and fails if any feasible prediction
-cannot be realized (that would mean the feasibility check is unsound).
+one scheduler decision away from it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Sequence
 
-from ..core.operations import Lock, Unlock
+from ..core.operations import Lock, Operation, Unlock, lock_exclusive, lock_shared
 from ..core.scheduler import Scheduler
 from ..core.transaction import TransactionProgram
 from ..errors import ReproError
@@ -49,9 +71,26 @@ from ..simulation.engine import SimulationEngine, SimulationResult
 from ..simulation.interleaving import Scripted
 from ..simulation.trace import TraceEvent
 from ..simulation.workload import generate_workload
+from ..storage.database import Database
 from ..verification.cases import ReplayCase
 from ..verification.faults import resolve_policy
 from ..verification.regressions import load_case
+from .events import AbstractLockEvent, concurrent, events_from_acquisitions, harvest_journal
+
+#: Selectable feasibility methods and their default search depths.
+METHODS = ("partial-order", "gate-lock")
+DEFAULT_CYCLE_LENGTH = {"partial-order": 4, "gate-lock": 3}
+
+
+def resolve_cycle_length(method: str, max_cycle_length: int | None) -> int:
+    """The search depth for *method* when the caller passed ``None``."""
+    if method not in METHODS:
+        raise ValueError(
+            f"unknown prediction method {method!r}; choose from {METHODS}"
+        )
+    if max_cycle_length is None:
+        return DEFAULT_CYCLE_LENGTH[method]
+    return max_cycle_length
 
 
 class _StopHarvest(Exception):
@@ -80,6 +119,9 @@ class LockEdge:
     acquired_mode: LockMode
     #: Everything *txn* held at the acquisition point (includes *held*).
     guards: tuple[tuple[str, LockMode], ...]
+    #: The abstract acquisition event (vector clock carrier); ``None``
+    #: only for synthetic edges built outside a trace (workload.py).
+    event: AbstractLockEvent | None = None
 
 
 @dataclass(frozen=True)
@@ -118,13 +160,16 @@ class PredictedDeadlock:
 
 @dataclass
 class PredictionReport:
-    """Everything predicted from one replayed case."""
+    """Everything predicted from one trace (replay case or journal)."""
 
     case_path: str
     acquisitions: int
     edges: int
     trace_deadlocks: int
     predicted: list[PredictedDeadlock] = field(default_factory=list)
+    method: str = "partial-order"
+    #: Boot segments the trace spanned (journals only; engine traces = 1).
+    segments: int = 1
 
     @property
     def alternates(self) -> list[PredictedDeadlock]:
@@ -141,39 +186,55 @@ class PredictionReport:
 
 
 class LockOrderGraph:
-    """The lock-order relation harvested from one trace."""
+    """The lock-order relation harvested from one trace.
 
-    def __init__(self, acquisitions: Iterable[_Acquisition]) -> None:
+    Built from :class:`~repro.staticcheck.events.AbstractLockEvent`
+    streams; each arc remembers the acquisition event that created it so
+    the partial-order feasibility check can consult vector clocks.
+    """
+
+    def __init__(self, events: Iterable[AbstractLockEvent]) -> None:
         self.edges: list[LockEdge] = []
         seen: set[tuple[str, str, str]] = set()
-        for acq in acquisitions:
-            for held, held_mode in acq.held_before:
-                key = (acq.txn, held, acq.entity)
+        for event in events:
+            for held, held_mode in event.held_before:
+                key = (event.txn, held, event.entity)
                 if key in seen:
                     continue
                 seen.add(key)
                 self.edges.append(
                     LockEdge(
                         held=held,
-                        acquired=acq.entity,
-                        txn=acq.txn,
+                        acquired=event.entity,
+                        txn=event.txn,
                         held_mode=held_mode,
-                        acquired_mode=acq.mode,
-                        guards=acq.held_before,
+                        acquired_mode=event.mode,
+                        guards=event.held_before,
+                        event=event,
                     )
                 )
         self._by_held: dict[str, list[LockEdge]] = {}
         for edge in self.edges:
             self._by_held.setdefault(edge.held, []).append(edge)
 
+    @classmethod
+    def from_acquisitions(
+        cls, acquisitions: Iterable[_Acquisition]
+    ) -> "LockOrderGraph":
+        """Graph over an engine-harvested trace (one boot segment)."""
+        return cls(events_from_acquisitions(acquisitions))
+
     def cycles(
-        self, max_length: int = 3, limit: int = 200
+        self,
+        max_length: int = 3,
+        limit: int = 200,
+        method: str = "partial-order",
     ) -> list[tuple[LockEdge, ...]]:
         """Feasible cycles with one distinct transaction per arc.
 
         Enumerates simple cycles in the entity graph up to *max_length*
-        arcs, applying the mode-conflict and guard (partial-order)
-        feasibility checks; stops after *limit* candidates.
+        arcs, applying *method*'s feasibility check; stops after *limit*
+        candidates.
         """
         found: list[tuple[LockEdge, ...]] = []
         keys: set[tuple[tuple[str, str, str], ...]] = set()
@@ -189,7 +250,7 @@ class LockOrderGraph:
                         key = _canonical(cycle)
                         if key in keys:
                             continue
-                        if _feasible(cycle):
+                        if _feasible(cycle, method=method):
                             keys.add(key)
                             found.append(cycle)
                         continue
@@ -215,15 +276,21 @@ def _canonical(
     return tuple(arcs[pivot:] + arcs[:pivot])
 
 
-def _feasible(cycle: tuple[LockEdge, ...]) -> bool:
-    """Partial-order feasibility of the joint blocking state.
+def _feasible(
+    cycle: tuple[LockEdge, ...], method: str = "partial-order"
+) -> bool:
+    """Feasibility of the joint blocking state under *method*.
 
     Each participant sits at its acquisition point, holding its guard
-    set and requesting the next participant's held entity.  The joint
-    state is reachable iff every pairwise guard intersection is
-    mode-compatible (an incompatible common guard would serialise the
-    two acquisition points); the cycle then actually blocks iff each
-    requested mode conflicts with the next holder's mode.
+    set and requesting the next participant's held entity.  Both
+    methods require the ring to actually block (each requested mode
+    conflicts with the next holder's mode) and every pairwise guard
+    intersection to be mode-compatible (an incompatible common guard
+    would serialise the two acquisition points).  The partial-order
+    method additionally requires the blocking acquisitions to be
+    pairwise *concurrent* under the harvested happens-before order —
+    two events separated by a boot-segment barrier cannot be reordered
+    into a joint blocking state, however compatible their guards look.
     """
     k = len(cycle)
     for i in range(k):
@@ -239,6 +306,14 @@ def _feasible(cycle: tuple[LockEdge, ...]) -> bool:
             for entity, mode in cycle[j].guards:
                 other = a.get(entity)
                 if other is not None and not other.compatible_with(mode):
+                    return False
+            if method == "partial-order":
+                ev_i, ev_j = cycle[i].event, cycle[j].event
+                if (
+                    ev_i is not None
+                    and ev_j is not None
+                    and not concurrent(ev_i, ev_j)
+                ):
                     return False
     return True
 
@@ -364,18 +439,68 @@ def _confirm(
     return False
 
 
+def _confirm_programs(
+    programs: Mapping[str, TransactionProgram],
+    witness: Sequence[str],
+    predicted: frozenset[str],
+    entities: Iterable[str],
+    strategy: str,
+    policy: str,
+) -> bool:
+    """Replay synthesized programs; did the detector report the cycle?
+
+    The journal path has no :class:`ReplayCase` to re-generate a
+    workload from, so confirmation runs the lock-sequence programs
+    reconstructed from the journal through a fresh engine.
+    """
+    database = Database({entity: 0 for entity in sorted(entities)})
+    scheduler = Scheduler(
+        database, strategy=strategy, policy=resolve_policy(policy)
+    )
+    engine = SimulationEngine(
+        scheduler,
+        Scripted(list(witness)),
+        max_steps=len(witness) + 8,
+        livelock_window=0,
+    )
+    for program in programs.values():
+        engine.add(program)
+    try:
+        engine.run()
+    except ReproError:
+        pass
+    for event in engine.trace.deadlock_events():
+        for reported in event.cycles:
+            if frozenset(reported) == predicted:
+                return True
+    return False
+
+
+def _sequence_program(
+    txn: str, sequence: Iterable[tuple[str, LockMode]]
+) -> TransactionProgram:
+    """The straight-line lock program a journal recorded for *txn*."""
+    operations: list[Operation] = [
+        lock_exclusive(entity) if mode.is_exclusive else lock_shared(entity)
+        for entity, mode in sequence
+    ]
+    return TransactionProgram(txn, operations)
+
+
 # -- entry points ------------------------------------------------------------
 
 
 def predict_case(
     case: ReplayCase,
     case_path: str = "",
-    max_cycle_length: int = 3,
+    max_cycle_length: int | None = None,
     limit: int = 200,
+    method: str = "partial-order",
 ) -> PredictionReport:
     """Predict deadlocks reachable from *case*'s workload family."""
+    max_length = resolve_cycle_length(method, max_cycle_length)
     acquisitions, trace_deadlocks, _result = _harvest(case)
-    graph = LockOrderGraph(acquisitions)
+    graph = LockOrderGraph.from_acquisitions(acquisitions)
     observed = {
         frozenset(reported)
         for event in trace_deadlocks
@@ -390,8 +515,11 @@ def predict_case(
         acquisitions=len(acquisitions),
         edges=len(graph.edges),
         trace_deadlocks=len(trace_deadlocks),
+        method=method,
     )
-    for cycle in graph.cycles(max_length=max_cycle_length, limit=limit):
+    for cycle in graph.cycles(
+        max_length=max_length, limit=limit, method=method
+    ):
         witness = _witness_schedule(cycle, by_id)
         if witness is None:
             continue
@@ -408,10 +536,70 @@ def predict_case(
     return report
 
 
+def predict_journal(
+    journal: str | Path,
+    max_cycle_length: int | None = None,
+    limit: int = 200,
+    method: str = "partial-order",
+    strategy: str = "mcs",
+    policy: str = "ordered-min-cost",
+) -> PredictionReport:
+    """Predict deadlocks from a service WAL/request journal.
+
+    Harvests the journal's grant stream into abstract lock events
+    (vector clocks spanning boot segments), enumerates feasible cycles,
+    reconstructs each participant's straight-line lock program from its
+    recorded sequence, and confirms every prediction by engine replay —
+    the same contract as the replay-case path.
+    """
+    max_length = resolve_cycle_length(method, max_cycle_length)
+    trace = harvest_journal(journal)
+    graph = LockOrderGraph(trace.events)
+    observed = set(trace.observed_deadlocks)
+    programs = {
+        txn: _sequence_program(txn, sequence)
+        for txn, sequence in trace.lock_sequences.items()
+    }
+    report = PredictionReport(
+        case_path=str(journal),
+        acquisitions=len(trace.events),
+        edges=len(graph.edges),
+        trace_deadlocks=len(observed),
+        method=method,
+        segments=trace.segments,
+    )
+    for cycle in graph.cycles(
+        max_length=max_length, limit=limit, method=method
+    ):
+        witness = _witness_schedule(cycle, programs)
+        if witness is None:
+            continue
+        txns = tuple(edge.txn for edge in cycle)
+        participants = {txn: programs[txn] for txn in txns}
+        report.predicted.append(
+            PredictedDeadlock(
+                entities=tuple(edge.held for edge in cycle),
+                txns=txns,
+                witness=witness,
+                observed_in_trace=frozenset(txns) in observed,
+                confirmed=_confirm_programs(
+                    participants,
+                    witness,
+                    frozenset(txns),
+                    trace.entities,
+                    strategy,
+                    policy,
+                ),
+            )
+        )
+    return report
+
+
 def predict_corpus(
     corpus: str | Path,
-    max_cycle_length: int = 3,
+    max_cycle_length: int | None = None,
     limit: int = 200,
+    method: str = "partial-order",
 ) -> list[PredictionReport]:
     """Run prediction over every regression case under *corpus*."""
     corpus = Path(corpus)
@@ -428,6 +616,7 @@ def predict_corpus(
                 case_path=str(path),
                 max_cycle_length=max_cycle_length,
                 limit=limit,
+                method=method,
             )
         )
     return reports

@@ -13,3 +13,11 @@ def bare_waiver() -> float:
 
 def wrong_rule() -> float:
     return time.time()  # repro: noqa[RR002] does not cover RR001
+
+
+def bracketed_pragma() -> float:
+    return time.time()  # repro: noqa[RR001 (coarse, see budget[0])] replay-free
+
+
+def space_separated_pragma() -> float:
+    return time.time()  # repro: noqa[RR001 RR002] budget probe may peek table

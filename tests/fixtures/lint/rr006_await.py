@@ -1,0 +1,40 @@
+"""Fixture: RR006 await-while-mutation-open (parsed, never imported)."""
+
+import asyncio
+
+
+class GoodHandler:
+    """Awaits strictly before the mutation: the service-layer shape."""
+
+    def __init__(self, manager, writer):
+        self.manager = manager
+        self.writer = writer
+
+    async def serve(self, reader):
+        line = await reader.readline()
+        await asyncio.sleep(0)
+        self.manager.request("T001", line.strip(), "X")
+        self.writer.write(b"ok\n")
+
+    def sync_path(self, request):
+        # not a coroutine: the event loop cannot interleave here
+        self.manager.request("T001", request, "X")
+        self.manager.release("T001", request)
+
+
+class BadHandler:
+    """Mutates, then yields to the event loop twice."""
+
+    def __init__(self, manager, core):
+        self.manager = manager
+        self.core = core
+
+    async def serve(self, writer, request):
+        reply = self.core.handle(request)
+        await writer.drain()  # violation: handle(...) still open
+        writer.write(reply)
+        await asyncio.sleep(0)  # violation: still open
+
+    async def shrink(self, writer, entity):
+        self.manager.release("T002", entity)
+        await writer.drain()  # violation: release(...) still open

@@ -1,7 +1,7 @@
 """Unit tests for repro.admission: the circuit breaker state machine,
-admission policies (fixed MPL + AIMD), the admission controller, the
-deadline escalation ladder, the starvation watchdog, and the SHED
-terminal state."""
+admission policies (fixed MPL, AIMD, predictive), the admission
+controller, the deadline escalation ladder, the starvation watchdog,
+and the SHED terminal state."""
 
 import pytest
 
@@ -103,9 +103,16 @@ class TestCircuitBreaker:
 
 class TestAdmissionPolicies:
     def test_registry(self):
-        assert available_admission_policies() == ("fixed-mpl", "aimd")
+        assert available_admission_policies() == (
+            "fixed-mpl", "aimd", "predictive",
+        )
         assert isinstance(make_admission_policy("fixed-mpl"), FixedMplPolicy)
         assert isinstance(make_admission_policy("aimd"), AimdPolicy)
+        from repro.admission.policies import PredictivePolicy
+
+        assert isinstance(
+            make_admission_policy("predictive"), PredictivePolicy
+        )
         with pytest.raises(ValueError):
             make_admission_policy("nope")
 
@@ -153,6 +160,83 @@ class TestAdmissionPolicies:
             AimdPolicy(rollback_threshold=1.5)
 
 
+class TestPredictivePolicy:
+    def _policy(self, **kwargs):
+        from repro.admission.policies import PredictivePolicy
+
+        return PredictivePolicy(**kwargs)
+
+    def _report(self):
+        from repro.simulation.workload import WorkloadConfig
+        from repro.staticcheck import analyze_config
+
+        return analyze_config(
+            WorkloadConfig(
+                n_transactions=16,
+                n_entities=4,
+                locks_per_txn=(2, 3),
+                write_ratio=1.0,
+            ),
+            seed=7,
+        )
+
+    def test_window_anchored_at_the_recommendation(self):
+        report = self._report()
+        p = self._policy(report=report)
+        assert p.recommended == report.recommended_mpl(0.5)
+        assert p.window == p.recommended
+        # growth is capped at twice the anchor, not the raw max_window
+        assert p.max_window == min(64, 2 * p.recommended)
+
+    def test_reportless_policy_anchors_at_initial(self):
+        p = self._policy(initial=8, window_steps=10)
+        assert p.recommended == 8 and p.window == 8
+        assert p.capacity(snap(0)) == 8          # window not yet elapsed
+        assert p.capacity(snap(10, rollbacks=9, commits=1)) == 4
+        assert p.capacity(snap(20, rollbacks=18, commits=2)) == 2
+        assert p.capacity(snap(30, rollbacks=18, commits=12)) == 3
+
+    def test_growth_capped_at_twice_the_anchor(self):
+        p = self._policy(initial=2, window_steps=10)
+        assert p.capacity(snap(10, commits=5)) == 3
+        assert p.capacity(snap(20, commits=10)) == 4
+        assert p.capacity(snap(30, commits=15)) == 4
+        assert p.history == [(10, 3), (20, 4), (30, 4)]
+
+    def test_trajectory_is_deterministic(self):
+        feed = [
+            snap(10 * i, rollbacks=3 * i, commits=2 * i)
+            for i in range(1, 20)
+        ]
+        trajectories = []
+        for _ in range(2):
+            p = self._policy(report=self._report(), window_steps=10)
+            for s in feed:
+                p.capacity(s)
+            trajectories.append(list(p.history))
+        assert trajectories[0] == trajectories[1]
+
+    def test_priority_scores_by_template_risk(self):
+        report = self._report()
+        p = self._policy(report=report)
+        hot = lock_program("H1", "e000", "e001")
+        hot_reversed = lock_program("H2", "e001", "e000")
+        assert p.priority(hot) > 0.0
+        assert p.priority(hot_reversed) > 0.0
+        # reportless: everything ties at zero (pure FIFO)
+        assert self._policy().priority(hot) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._policy(min_window=0)
+        with pytest.raises(ValueError):
+            self._policy(min_window=8, max_window=4)
+        with pytest.raises(ValueError):
+            self._policy(rollback_threshold=1.5)
+        with pytest.raises(ValueError):
+            self._policy(window_steps=0)
+
+
 class TestAdmissionController:
     def test_fifo_gating_and_metrics(self):
         db = Database({"a": 0, "b": 0, "c": 0})
@@ -186,6 +270,64 @@ class TestAdmissionController:
     def test_policy_by_name(self):
         controller = AdmissionController("aimd")
         assert isinstance(controller.policy, AimdPolicy)
+
+    def test_predictive_reorders_low_risk_first(self):
+        from repro.admission.policies import PredictivePolicy
+        from repro.observability.events import EventBus, EventKind
+        from repro.staticcheck.workload import RiskReport
+
+        # a hand-built report with a known risk table: T_hot must wait
+        # behind both cooler arrivals despite arriving first
+        report = RiskReport(
+            name="handmade",
+            mean_pair_risk=0.01,
+            template_risk={"T_hot": 0.9, "T_mid": 0.5, "T_cool": 0.1},
+            total_templates=3,
+        )
+        policy = PredictivePolicy(report=report)
+        db = Database({"a": 0, "b": 0, "c": 0})
+        scheduler = Scheduler(db)
+        events = []
+        scheduler.bus = EventBus()
+        scheduler.bus.subscribe(events.append)
+        controller = AdmissionController(policy)
+        controller.submit(lock_program("T_hot", "a"))
+        controller.submit(lock_program("T_mid", "b"))
+        controller.submit(lock_program("T_cool", "c"))
+
+        admitted = controller.tick(scheduler, step=0)
+        assert admitted == ["T_cool", "T_mid", "T_hot"]
+        assert controller.reorders == 2        # T_hot overtaken twice
+
+        # the static anchor is announced exactly once ...
+        risk_events = [
+            e for e in events if e.kind is EventKind.PREDICT_RISK
+        ]
+        assert len(risk_events) == 1
+        assert risk_events[0].data["recommended_mpl"] == policy.recommended
+        # ... and every overtaking admission carries its skip count
+        reorder_events = [
+            e for e in events if e.kind is EventKind.ADMISSION_REORDER
+        ]
+        assert [(e.txn, e.data["skipped"]) for e in reorder_events] == [
+            ("T_cool", 2), ("T_mid", 1),
+        ]
+        controller.tick(scheduler, step=1)
+        assert (
+            len([e for e in events if e.kind is EventKind.PREDICT_RISK])
+            == 1
+        )
+
+    def test_equal_risk_degrades_to_fifo(self):
+        from repro.admission.policies import PredictivePolicy
+
+        db = Database({"a": 0, "b": 0})
+        scheduler = Scheduler(db)
+        controller = AdmissionController(PredictivePolicy())
+        controller.submit(lock_program("T1", "a"))
+        controller.submit(lock_program("T2", "b"))
+        assert controller.tick(scheduler, step=0) == ["T1", "T2"]
+        assert controller.reorders == 0
 
 
 class TestDeadlineLadder:

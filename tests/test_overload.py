@@ -127,6 +127,29 @@ class TestOverloadHarness:
         assert adaptive.committed == unbounded.committed == 24
         assert adaptive.rollbacks < unbounded.rollbacks
 
+    def test_predictive_admission_beats_fixed_mpl(self):
+        """The PR's acceptance claim: anchoring the window at the static
+        analyzer's recommended MPL (and admitting low-risk templates
+        first) yields fewer rollbacks than a fixed MPL on the default
+        hostile workload, with everything still committing."""
+        predictive, _ = overload_run(
+            OverloadConfig(admission_policy="predictive"), seed=7
+        )
+        fixed, _ = overload_run(
+            OverloadConfig(admission_policy="fixed-mpl"), seed=7
+        )
+        assert predictive.committed == fixed.committed == 32
+        assert predictive.shed == [] and predictive.starved == []
+        assert predictive.rollbacks < fixed.rollbacks
+
+    def test_predictive_admission_deterministic(self):
+        config = OverloadConfig(
+            admission_policy="predictive", **self.SMALL
+        )
+        a, _ = overload_run(config, seed=3)
+        b, _ = overload_run(config, seed=3)
+        assert a.fingerprint() == b.fingerprint()
+
     def test_unknown_admission_policy_rejected(self):
         with pytest.raises(ValueError):
             overload_run(

@@ -1,4 +1,4 @@
-"""The static-analysis subsystem: framework, rules RR001–RR004, the CLI
+"""The static-analysis subsystem: framework, rules RR001–RR006, the CLI
 exit codes, and trace-based deadlock prediction.
 
 The rule tests run the real checkers over seeded-violation fixtures in
@@ -39,8 +39,16 @@ def lint_fixture(name, select=None):
 
 def test_rule_catalogue_matches_checkers():
     assert [rule for rule, _ in all_rules()] == [
-        "RR001", "RR002", "RR003", "RR004", "RR005",
+        "RR001", "RR002", "RR003", "RR004", "RR005", "RR006",
     ]
+
+
+def test_findings_carry_severity():
+    report = lint_fixture("rr001_hazards.py")
+    assert {f.severity for f in report.findings} == {"error"}
+    finding = report.findings[0]
+    assert finding.to_dict()["severity"] == "error"
+    assert "error" in finding.render()
 
 
 def test_clean_fixture_has_no_findings():
@@ -170,12 +178,60 @@ def test_noqa_suppresses_matching_rule_only():
     # line with noqa[RR002] does not cover the RR001 finding
     assert len(report.findings) == 1
     assert report.findings[0].rule == "RR001"
-    # the two noqa[RR001] lines are suppressed
-    assert len(report.suppressed) == 2
+    # the four lines whose pragma names RR001 are suppressed
+    assert len(report.suppressed) == 4
     # one of them carries no justification
     bare = report.bare_suppressions()
     assert len(bare) == 1
     assert bare[0][1].justification == ""
+
+
+def test_noqa_survives_brackets_and_missing_commas():
+    from repro.staticcheck.framework import _parse_suppressions
+
+    suppressions = {
+        s.line: s
+        for s in _parse_suppressions(
+            "\n".join(
+                [
+                    "x = 1  # repro: noqa[RR001 (coarse, see budget[0])] why",
+                    "y = 2  # repro: noqa[RR001 RR002] two rules, no comma",
+                    "z = 3  # repro: noqa[rr003,RR003, RR004] dupes fold",
+                    "w = 4  # repro: noqa[] empty region names no rule",
+                ]
+            )
+        )
+    }
+    # commentary inside the brackets must not kill the pragma
+    assert suppressions[1].rules == ("RR001",)
+    assert suppressions[1].justification == "why"
+    # space separation waives both rules, not neither
+    assert suppressions[2].rules == ("RR001", "RR002")
+    # case-folded, order-preserving, deduplicated
+    assert suppressions[3].rules == ("RR003", "RR004")
+    # an empty bracket region is not a suppression at all
+    assert 4 not in suppressions
+
+
+# -- RR006: await discipline -------------------------------------------------
+
+
+def test_rr006_flags_awaits_after_open_mutation_only():
+    report = lint_fixture("rr006_await.py")
+    assert [f.rule for f in report.findings] == ["RR006", "RR006", "RR006"]
+    assert {f.severity for f in report.findings} == {"warning"}
+    lines = (FIXTURES / "rr006_await.py").read_text().splitlines()
+    for finding in report.findings:
+        assert "violation" in lines[finding.line - 1]
+    messages = " | ".join(f.message for f in report.findings)
+    assert "handle(...)" in messages and "release(...)" in messages
+
+
+def test_rr006_is_quiet_on_the_real_tree():
+    report = run_lint(
+        [Path("src/repro")], default_checkers(), select=["RR006"]
+    )
+    assert report.findings == []
 
 
 # -- CLI exit codes ----------------------------------------------------------
@@ -189,7 +245,7 @@ def test_cli_lint_clean_tree_exits_zero(capsys):
 @pytest.mark.parametrize(
     "fixture",
     ["rr001_hazards.py", "rr002_locks.py", "rr003_registration.py",
-     "rr004_seeding.py", "rr005_metrics.py", "noqa.py"],
+     "rr004_seeding.py", "rr005_metrics.py", "rr006_await.py", "noqa.py"],
 )
 def test_cli_lint_fixture_exits_nonzero(fixture, capsys):
     assert main(["lint", str(FIXTURES / fixture)]) == 1

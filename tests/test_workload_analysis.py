@@ -1,0 +1,225 @@
+"""Static workload risk analysis: templates, inversions, MPL advice.
+
+Everything here is static — no engine run, no scheduler.  The analyzer
+sees only lock *shapes* (templates extracted from programs, configs, or
+journals) and must score them deterministically.
+"""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+from repro.core.operations import lock_exclusive, lock_shared, unlock
+from repro.core.transaction import TransactionProgram
+from repro.locking.modes import LockMode
+from repro.simulation.workload import WorkloadConfig
+from repro.staticcheck import (
+    TransactionTemplate,
+    analyze_config,
+    analyze_journal,
+    analyze_programs,
+    analyze_sequences,
+)
+from repro.staticcheck.workload import (
+    MAX_RECOMMENDED_MPL,
+    classify_templates,
+    pair_hazard,
+    template_inversions,
+)
+
+X = LockMode.EXCLUSIVE
+S = LockMode.SHARED
+
+#: A hot workload shape the numbers below key on: few entities, pure
+#: writers, mixed lock orders.
+HOT = WorkloadConfig(
+    n_transactions=32,
+    n_entities=6,
+    locks_per_txn=(2, 4),
+    write_ratio=1.0,
+)
+
+
+def template(name, *locks):
+    return TransactionTemplate(name=name, locks=tuple(locks))
+
+
+# -- template extraction ------------------------------------------------------
+
+
+def test_template_stops_at_the_shrinking_phase():
+    program = TransactionProgram(
+        "T001",
+        [
+            lock_exclusive("e0"),
+            lock_shared("e1"),
+            unlock("e0"),
+            # two-phase validation forbids a Lock after Unlock, so any
+            # later operations cannot add acquisitions
+        ],
+    )
+    extracted = TransactionTemplate.from_program(program)
+    assert extracted.locks == (("e0", X), ("e1", S))
+    assert extracted.signature == "w2"
+    assert extracted.entities == ("e0", "e1")
+    assert extracted.mode_of("e1") is S
+    assert extracted.position_of("e1") == 1
+    assert extracted.position_of("missing") == -1
+
+
+def test_signature_separates_readers_from_writers():
+    assert template("a", ("e0", S), ("e1", S)).signature == "r2"
+    assert template("b", ("e0", S), ("e1", X)).signature == "w2"
+    assert classify_templates(
+        [template("a", ("e0", S)), template("b", ("e0", X))]
+    )[0].name == "r1"
+
+
+# -- inversions and hazard ----------------------------------------------------
+
+
+def test_opposite_order_writers_invert():
+    a = template("a", ("e0", X), ("e1", X))
+    b = template("b", ("e1", X), ("e0", X))
+    assert template_inversions(a, b) == [("e0", "e1")]
+    hazard, inversions = pair_hazard(a, b)
+    assert inversions == [("e0", "e1"), ("e1", "e0")]
+    assert hazard == 2 / 4
+
+
+def test_shared_modes_do_not_invert():
+    a = template("a", ("e0", S), ("e1", S))
+    b = template("b", ("e1", S), ("e0", S))
+    assert pair_hazard(a, b) == (0.0, [])
+
+
+def test_gate_lock_serialises_the_pair():
+    # both lock the gate g exclusively before their blocking points, so
+    # the e0/e1 inversion can never close
+    a = template("a", ("g", X), ("e0", X), ("e1", X))
+    b = template("b", ("g", X), ("e1", X), ("e0", X))
+    assert pair_hazard(a, b) == (0.0, [])
+    # a shared gate serialises nothing
+    a_s = template("a", ("g", S), ("e0", X), ("e1", X))
+    b_s = template("b", ("g", S), ("e1", X), ("e0", X))
+    hazard, _ = pair_hazard(a_s, b_s)
+    assert hazard > 0.0
+
+
+# -- the report ---------------------------------------------------------------
+
+
+def test_analysis_is_deterministic_and_sane():
+    first = analyze_config(HOT, seed=0)
+    second = analyze_config(HOT, seed=0)
+    assert first.to_json() == second.to_json()
+    assert first.total_templates == 32
+    assert 0.0 < first.mean_pair_risk < 1.0
+    assert all(0.0 <= c.score <= 1.0 for c in first.classes)
+    assert all(0.0 <= p.score <= 1.0 for p in first.pairs)
+    assert first.cycles  # six hot entities with mixed orders must ring
+
+
+def test_recommended_mpl_shrinks_with_risk():
+    hot = analyze_config(HOT, seed=0)
+    mild = analyze_config(
+        WorkloadConfig(
+            n_transactions=8,
+            n_entities=64,
+            locks_per_txn=(1, 1),
+            write_ratio=0.0,
+        ),
+        seed=0,
+    )
+    assert mild.mean_pair_risk == 0.0
+    assert mild.recommended_mpl() == MAX_RECOMMENDED_MPL
+    assert 1 <= hot.recommended_mpl() < mild.recommended_mpl()
+    # a looser budget admits more
+    assert hot.recommended_mpl(budget=4.0) >= hot.recommended_mpl(budget=0.5)
+
+
+def test_risk_of_falls_back_by_signature_then_pool():
+    report = analyze_programs(
+        [
+            TransactionProgram(
+                "T001", [lock_exclusive("e0"), lock_exclusive("e1")]
+            ),
+            TransactionProgram(
+                "T002", [lock_exclusive("e1"), lock_exclusive("e0")]
+            ),
+        ]
+    )
+    known = template("T001", ("e0", X), ("e1", X))
+    assert report.risk_of(known) == report.template_risk["T001"]
+    # unseen writer with two locks: scored by the w2 class mean
+    unseen = template("T999", ("e0", X), ("e1", X))
+    assert report.risk_of(unseen) == report.classes[0].score
+    # unseen shape with no class: pool mean
+    alien = template("T998", ("e0", S),)
+    assert report.risk_of(alien) == report.mean_pair_risk
+
+
+def test_analyze_sequences_matches_explicit_templates():
+    report = analyze_sequences(
+        {
+            "T001": [("e0", X), ("e1", X)],
+            "T002": [("e1", X), ("e0", X)],
+        }
+    )
+    assert report.total_templates == 2
+    assert report.mean_pair_risk > 0.0
+    assert report.cycles
+
+
+def test_analyze_journal_scores_recorded_sequences(tmp_path):
+    rows = [
+        ("lock.grant", "T001", {"entity": "e0", "mode": "X"}),
+        ("lock.grant", "T001", {"entity": "e1", "mode": "X"}),
+        ("txn.commit", "T001", {}),
+        ("lock.grant", "T002", {"entity": "e1", "mode": "X"}),
+        ("lock.grant", "T002", {"entity": "e0", "mode": "X"}),
+        ("txn.commit", "T002", {}),
+    ]
+    path = tmp_path / "journal.jsonl"
+    path.write_text(
+        "\n".join(
+            json.dumps(
+                {"seq": i, "step": i, "kind": kind, "txn": txn, "data": data},
+                sort_keys=True,
+            )
+            for i, (kind, txn, data) in enumerate(rows)
+        )
+        + "\n"
+    )
+    report = analyze_journal(path)
+    assert report.total_templates == 2
+    assert report.mean_pair_risk > 0.0
+
+
+# -- the advise CLI -----------------------------------------------------------
+
+
+def test_cli_advise_smoke_gate_passes(capsys):
+    assert main(["advise", "--smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "deterministic        True" in out
+    assert "sane                 True" in out
+
+
+def test_cli_advise_json_is_machine_readable(capsys):
+    assert main(
+        ["advise", "--transactions", "16", "--entities", "4",
+         "--locks", "2", "4", "--write-ratio", "1.0", "--seed", "9",
+         "--json"]
+    ) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["total_templates"] == 16
+    assert document["recommended_mpl"] >= 1
+    assert 0.0 <= document["mean_pair_risk"] <= 1.0
+
+
+def test_cli_advise_text_suggests_admission(capsys):
+    assert main(["advise", "--transactions", "12", "--entities", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "recommended MPL" in out
+    assert "--admission predictive" in out
