@@ -273,6 +273,9 @@ def cmd_chaos(args) -> int:
     from .resilience import ChaosReport, chaos_run, crash_recovery_sweep
     from .verification import resolve_policy
 
+    if args.partition_heal or args.smoke:
+        return _chaos_scenarios(args)
+
     config = WorkloadConfig(
         n_transactions=args.transactions,
         n_entities=args.entities,
@@ -301,6 +304,7 @@ def cmd_chaos(args) -> int:
             checkpoint_every=args.checkpoint_every,
             every=args.every,
             sites=args.sites,
+            replicate=args.replicate,
             cross_site_mode=args.cross_site_mode,
             deadline=deadline,
         )
@@ -319,12 +323,14 @@ def cmd_chaos(args) -> int:
                     policy=policy,
                     crashes=args.crashes,
                     site_crashes=args.site_crashes,
+                    partitions=args.partitions,
                     message_faults=args.message_faults,
                     storage_faults=args.storage_faults,
                     stalls=args.stalls,
                     degrade=not args.no_degrade,
                     checkpoint_every=args.checkpoint_every,
                     sites=args.sites,
+                    replicate=args.replicate,
                     cross_site_mode=args.cross_site_mode,
                 )
                 outcomes.append(outcome)
@@ -353,6 +359,48 @@ def cmd_chaos(args) -> int:
     if len(report.violations) > args.max_report:
         print(f"  ... and {len(report.violations) - args.max_report} more")
     return 0 if report.ok else 1
+
+
+def _chaos_scenarios(args) -> int:
+    """The named partition/heal scenario suite (``--partition-heal`` and
+    the CI replication smoke ``--smoke``); non-zero exit on any verdict
+    other than ``clean``."""
+    from .distributed.scenarios import run_scenario, scenario_names
+
+    names = scenario_names()
+    if args.smoke:
+        # The CI gate: every named scenario once at the fixed seed, plus
+        # a replicated crash-recovery run — small enough for every push.
+        seeds = [args.seed]
+    else:
+        seeds = [args.seed + i for i in range(args.rounds)]
+    failures = 0
+    runs = 0
+    for seed in seeds:
+        for name in names:
+            outcome = run_scenario(
+                name, workload_seed=seed, chaos_seed=seed
+            )
+            runs += 1
+            marker = "ok" if outcome.ok else "FAIL"
+            interesting = {
+                key: value
+                for key, value in sorted(outcome.metrics.items())
+                if key in (
+                    "commits", "timeout_rollbacks", "replica_catchups",
+                    "stale_write_skips", "unavailable_stalls",
+                ) and value
+            }
+            print(f"  [{marker}] {name} (seed {seed}) {interesting}")
+            if not outcome.ok:
+                failures += 1
+                for reason in outcome.reasons[:args.max_report]:
+                    print(f"         {reason}")
+    print(f"{'mode':>16}: {'smoke' if args.smoke else 'partition-heal'}")
+    print(f"{'scenarios':>16}: {', '.join(names)}")
+    print(f"{'runs':>16}: {runs}")
+    print(f"{'failures':>16}: {failures}")
+    return 0 if failures == 0 else 1
 
 
 def cmd_overload(args) -> int:
@@ -896,6 +944,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--crashes", type=int, default=1,
                          help="scheduler crashes per campaign run")
     p_chaos.add_argument("--site-crashes", type=int, default=0)
+    p_chaos.add_argument("--partitions", type=int, default=0,
+                         help="random network partitions to draw from the "
+                              "seed (requires --sites >= 2)")
+    p_chaos.add_argument("--replicate", type=int, default=0,
+                         help="replication factor: >= 1 runs the "
+                              "replicated scheduler over a "
+                              "consistent-hash view (available copies, "
+                              "read-one/write-all-available)")
+    p_chaos.add_argument("--partition-heal", action="store_true",
+                         help="run the named partition/heal scenario "
+                              "suite instead of the random campaign")
+    p_chaos.add_argument("--smoke", action="store_true",
+                         help="the CI replication smoke: every named "
+                              "scenario once at the fixed seed; non-zero "
+                              "exit on any oracle violation")
     p_chaos.add_argument("--message-faults", type=int, default=0,
                          help="network drops/duplicates/delays per run "
                               "(needs --sites)")

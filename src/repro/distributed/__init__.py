@@ -4,17 +4,27 @@ with partial rollback."""
 
 from .network import Message, MessageLog, MessageType
 from .partition import Partition, explicit_partition, round_robin_partition
+from .replication import ReadRecord, ReplicaDirectory, ReplicatedScheduler
 from .scheduler import PROBE, WAIT_DIE, WOUND_WAIT, DistributedScheduler
+from .views import DEFAULT_VNODES, HashRing, View, hash_view, stable_hash
 
 __all__ = [
+    "DEFAULT_VNODES",
     "DistributedScheduler",
+    "HashRing",
     "Message",
     "MessageLog",
     "MessageType",
     "PROBE",
     "Partition",
+    "ReadRecord",
+    "ReplicaDirectory",
+    "ReplicatedScheduler",
+    "View",
     "WAIT_DIE",
     "WOUND_WAIT",
     "explicit_partition",
+    "hash_view",
     "round_robin_partition",
+    "stable_hash",
 ]

@@ -40,6 +40,8 @@ class MessageType(enum.Enum):
     ROLLBACK_NOTIFY = "rollback-notify"
     WOUND = "wound"
     PROBE = "probe"
+    REPLICA_CATCHUP = "replica-catchup"
+    LOCK_MIGRATE = "lock-migrate"
 
     def __str__(self) -> str:
         return self.value

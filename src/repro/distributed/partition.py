@@ -51,20 +51,24 @@ def round_robin_partition(
 ) -> Partition:
     """Spread entities across sites round-robin; home each transaction at
     the site owning the first entity it locks (minimising its remote
-    traffic for prefix-local programs)."""
+    traffic for prefix-local programs).  Lockless programs carry no
+    affinity, so they are spread round-robin across sites too — homing
+    them all at site 0 made that site a hot spot at scale."""
     if n_sites < 1:
         raise ValueError("n_sites must be positive")
     entity_sites = {
         entity: i % n_sites for i, entity in enumerate(sorted(entities))
     }
     home_sites: dict[str, int] = {}
+    lockless = 0
     for program in programs:
         lock_ops = program.lock_operations
         if lock_ops:
             first_entity = lock_ops[0][1].entity_name
             home_sites[program.txn_id] = entity_sites[first_entity]
         else:
-            home_sites[program.txn_id] = 0
+            home_sites[program.txn_id] = lockless % n_sites
+            lockless += 1
     return Partition(n_sites, entity_sites, home_sites)
 
 

@@ -150,6 +150,14 @@ class DistributedScheduler(Scheduler):
         #: (only when ``breaker_threshold > 0``).
         self.breakers: dict[str, CircuitBreaker] = {}
         self.message_log = MessageLog()
+        #: Optional reachability predicate ``(site_a, site_b) -> bool``
+        #: installed by the partition machinery (see
+        #: :meth:`repro.distributed.replication.ReplicatedScheduler.on_partition`).
+        #: When set, the timestamp rule and probes skip blockers that are
+        #: unreachable from the requester's home — a wound or probe
+        #: message cannot cross a severed link, so those conflicts stand
+        #: until the wait timeout clears them.
+        self.link_filter = None
         self._blocked_since: dict[TxnId, int] = {}
         self._retry_attempts: dict[TxnId, int] = {}
         self._stalled_until: dict[TxnId, int] = {}
@@ -246,10 +254,21 @@ class DistributedScheduler(Scheduler):
             for entity in waited_entities
         )
         target = self.strategy.choose_target(txn, ideal)
+        self.metrics.bump("timeout_rollbacks")
         self.force_rollback(
             txn.txn_id, target, requester=txn.txn_id, ideal_ordinal=ideal
         )
         self._blocked_since.pop(txn.txn_id, None)
+
+    # -- site reachability ---------------------------------------------------
+
+    def _reachable(self, site_a: int, site_b: int) -> bool:
+        """Whether a message can travel between two sites right now."""
+        if site_a == site_b:
+            return True
+        if self.link_filter is None:
+            return True
+        return self.link_filter(site_a, site_b)
 
     # -- lock handling with placement, messages, and timestamp rules ----------
 
@@ -393,6 +412,10 @@ class DistributedScheduler(Scheduler):
         cross = [
             b for b in blockers
             if self.partition.home_of(b.txn_id) != home
+            # A wound/die decision needs a message to (or a timestamp
+            # learned from) the blocker's home; a severed link leaves the
+            # wait standing for the timeout rule instead.
+            and self._reachable(home, self.partition.home_of(b.txn_id))
         ]
         if self.cross_site_mode == PROBE:
             # Edge-chasing detects real global deadlocks even when every
@@ -487,9 +510,15 @@ class DistributedScheduler(Scheduler):
         while frontier:
             current = frontier.pop()
             for blocker in adjacency.get(current, ()):  # probe hop
+                current_home = self.partition.home_of(current)
+                blocker_home = self.partition.home_of(blocker)
+                if not self._reachable(current_home, blocker_home):
+                    # The probe dies at the partition boundary; cycles
+                    # crossing it stay invisible until the timeout rule.
+                    continue
                 self.message_log.send(
-                    self.partition.home_of(current),
-                    self.partition.home_of(blocker),
+                    current_home,
+                    blocker_home,
                     MessageType.PROBE,
                     initiator,
                 )

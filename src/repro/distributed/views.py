@@ -1,0 +1,305 @@
+"""Dynamic entity placement: consistent-hash rings and topology views.
+
+The static :class:`~repro.distributed.partition.Partition` pins every
+entity to one site forever; a production deployment adds and removes
+sites while transactions are in flight.  A :class:`View` is one immutable
+epoch of the topology: a seeded consistent-hash ring (virtual nodes per
+site) mapping every entity to its *primary* site and — when the view is
+replicated — to its ``rf``-site replica set, plus the transaction home
+map.  :meth:`View.add_site` / :meth:`View.remove_site` produce the next
+epoch; consistent hashing guarantees the reshuffle is *minimal* — only
+keys owned by the added/removed site move — and fully deterministic from
+``(seed, vnodes, site set)``, so two processes computing the same view
+change agree on every placement without coordination.
+
+What happens to in-flight transactions holding locks on moved entities is
+the scheduler's decision (migrate the lock state, or partially roll the
+holder back just far enough to release the moved entities — paper §2
+rollback-point semantics); see
+:meth:`repro.distributed.replication.ReplicatedScheduler.change_view`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Iterable, Mapping
+
+from ..core.transaction import TransactionProgram
+
+#: Default virtual nodes per site.  More vnodes => smoother balance at
+#: the cost of a larger ring; 64 keeps the max/min entity-load ratio
+#: under ~2 for realistic site counts (pinned by the property tests).
+DEFAULT_VNODES = 64
+
+
+def stable_hash(label: str) -> int:
+    """A process-stable 64-bit hash (``hash()`` is salted per process)."""
+    digest = hashlib.blake2b(label.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """A seeded consistent-hash ring over integer site ids.
+
+    Each site contributes ``vnodes`` points at
+    ``stable_hash(f"{seed}:s{site}:v{i}")``; a key is owned by the first
+    point clockwise of ``stable_hash(f"{seed}:k{key}")``.  Identical
+    ``(sites, vnodes, seed)`` always build the identical ring.
+    """
+
+    def __init__(
+        self,
+        sites: Iterable[int],
+        vnodes: int = DEFAULT_VNODES,
+        seed: int = 0,
+    ) -> None:
+        self.sites: tuple[int, ...] = tuple(sorted(set(sites)))
+        if not self.sites:
+            raise ValueError("a hash ring needs at least one site")
+        if vnodes < 1:
+            raise ValueError("vnodes must be positive")
+        self.vnodes = vnodes
+        self.seed = seed
+        points: list[tuple[int, int]] = []
+        for site in self.sites:
+            for v in range(vnodes):
+                points.append(
+                    (stable_hash(f"{seed}:s{site}:v{v}"), site)
+                )
+        # Ties are broken by site id so the ring is a pure function of
+        # its inputs even in the (astronomically unlikely) collision case.
+        points.sort()
+        self._hashes = [h for h, _ in points]
+        self._owners = [s for _, s in points]
+
+    def _key_point(self, key: str) -> int:
+        return stable_hash(f"{self.seed}:k{key}")
+
+    def owner(self, key: str) -> int:
+        """The primary site owning *key*."""
+        index = bisect_right(self._hashes, self._key_point(key))
+        if index == len(self._hashes):
+            index = 0
+        return self._owners[index]
+
+    def owners(self, key: str, n: int) -> tuple[int, ...]:
+        """The first ``min(n, len(sites))`` *distinct* sites clockwise of
+        *key* — the replica set under replication factor ``n``."""
+        n = min(n, len(self.sites))
+        start = bisect_right(self._hashes, self._key_point(key))
+        found: list[int] = []
+        size = len(self._owners)
+        for offset in range(size):
+            site = self._owners[(start + offset) % size]
+            if site not in found:
+                found.append(site)
+                if len(found) == n:
+                    break
+        return tuple(found)
+
+    def with_sites(self, sites: Iterable[int]) -> "HashRing":
+        """A ring over a different site set, same seed and vnodes."""
+        return HashRing(sites, vnodes=self.vnodes, seed=self.seed)
+
+
+class View:
+    """One epoch of the cluster topology.
+
+    Exposes the :class:`~repro.distributed.partition.Partition` query API
+    (``site_of_entity`` / ``home_of`` / ``entities_at`` / ``is_local`` /
+    ``n_sites`` / ``home_sites``) so every consumer of a static partition
+    — the distributed scheduler, the fault injector, the chaos loop —
+    accepts a view unchanged.  Entity placement is immutable within a
+    view; transaction homes accumulate as programs register (a home never
+    moves with a view change — the transaction keeps executing where it
+    started, only its *entities* move).
+    """
+
+    def __init__(
+        self,
+        ring: HashRing,
+        entities: Iterable[str],
+        rf: int = 1,
+        version: int = 0,
+        home_sites: Mapping[str, int] | None = None,
+    ) -> None:
+        if rf < 1:
+            raise ValueError("replication factor must be positive")
+        self.ring = ring
+        self.entities: tuple[str, ...] = tuple(sorted(set(entities)))
+        self.rf = rf
+        self.version = version
+        self.home_sites: dict[str, int] = dict(home_sites or {})
+        #: Placement cache: computed once per view, read many times.
+        self._primary: dict[str, int] = {
+            entity: ring.owner(entity) for entity in self.entities
+        }
+        self._replicas: dict[str, tuple[int, ...]] = {
+            entity: ring.owners(entity, rf) for entity in self.entities
+        }
+
+    # -- Partition-compatible queries ------------------------------------
+
+    @property
+    def sites(self) -> tuple[int, ...]:
+        return self.ring.sites
+
+    @property
+    def n_sites(self) -> int:
+        return len(self.ring.sites)
+
+    def site_of_entity(self, entity: str) -> int:
+        primary = self._primary.get(entity)
+        if primary is None:
+            # Dynamic placement: any key hashes somewhere; memoize so
+            # repeated queries are dict hits.
+            primary = self.ring.owner(entity)
+            self._primary[entity] = primary
+            self._replicas[entity] = self.ring.owners(entity, self.rf)
+        return primary
+
+    def home_of(self, txn_id: str) -> int:
+        home = self.home_sites.get(txn_id)
+        if home is None:
+            # Un-registered transactions are homed by hash — balanced and
+            # deterministic without any pre-assignment step.
+            home = self.ring.owner(f"txn:{txn_id}")
+            self.home_sites[txn_id] = home
+        return home
+
+    def assign_home(self, txn_id: str, site: int) -> None:
+        if site not in self.ring.sites:
+            raise ValueError(f"site {site} is not in this view")
+        self.home_sites[txn_id] = site
+
+    def entities_at(self, site: int) -> set[str]:
+        return {
+            entity
+            for entity, owner in self._primary.items()
+            if owner == site
+        }
+
+    def is_local(self, txn_id: str, entity: str) -> bool:
+        return self.home_of(txn_id) == self.site_of_entity(entity)
+
+    # -- replication queries ----------------------------------------------
+
+    def replica_sites(self, entity: str) -> tuple[int, ...]:
+        """The ``rf`` distinct sites holding a copy of *entity* (primary
+        first)."""
+        replicas = self._replicas.get(entity)
+        if replicas is None:
+            self.site_of_entity(entity)  # populates both caches
+            replicas = self._replicas[entity]
+        return replicas
+
+    # -- view changes ------------------------------------------------------
+
+    def add_site(self, site: int) -> "View":
+        """The next epoch with *site* joined."""
+        if site in self.ring.sites:
+            raise ValueError(f"site {site} is already in the view")
+        return View(
+            self.ring.with_sites(self.ring.sites + (site,)),
+            self.entities,
+            rf=self.rf,
+            version=self.version + 1,
+            home_sites=self.home_sites,
+        )
+
+    def remove_site(self, site: int) -> "View":
+        """The next epoch with *site* departed.
+
+        Transactions homed at the departed site are re-homed by hash over
+        the surviving sites (their home *site* is gone; their lock state
+        is global and survives).
+        """
+        if site not in self.ring.sites:
+            raise ValueError(f"site {site} is not in the view")
+        if len(self.ring.sites) == 1:
+            raise ValueError("cannot remove the last site")
+        survivors = tuple(s for s in self.ring.sites if s != site)
+        ring = self.ring.with_sites(survivors)
+        homes = {
+            txn_id: (
+                home if home != site else ring.owner(f"txn:{txn_id}")
+            )
+            for txn_id, home in self.home_sites.items()
+        }
+        return View(
+            ring,
+            self.entities,
+            rf=self.rf,
+            version=self.version + 1,
+            home_sites=homes,
+        )
+
+    def moved_entities(self, successor: "View") -> dict[str, tuple[int, int]]:
+        """Entities whose *primary* owner changes between this view and
+        *successor*: ``{entity: (old_site, new_site)}``.
+
+        Consistent hashing makes this the minimal set: a single
+        ``add_site``/``remove_site`` step moves only keys the new site
+        claims (or the departed site owned) — the property tests pin it.
+        """
+        moved: dict[str, tuple[int, int]] = {}
+        for entity in self.entities:
+            old = self.site_of_entity(entity)
+            new = successor.site_of_entity(entity)
+            if old != new:
+                moved[entity] = (old, new)
+        return moved
+
+    def replica_changes(
+        self, successor: "View"
+    ) -> dict[str, tuple[tuple[int, ...], tuple[int, ...]]]:
+        """Entities whose replica *set* changes: ``{entity: (old, new)}``."""
+        changed: dict[str, tuple[tuple[int, ...], tuple[int, ...]]] = {}
+        for entity in self.entities:
+            old = self.replica_sites(entity)
+            new = successor.replica_sites(entity)
+            if set(old) != set(new):
+                changed[entity] = (old, new)
+        return changed
+
+    def load_by_site(self) -> dict[int, int]:
+        """Entity count per site (primary placement) — the balance the
+        property tests bound."""
+        load = {site: 0 for site in self.ring.sites}
+        for owner in self._primary.values():
+            load[owner] += 1
+        return load
+
+
+def hash_view(
+    entities: Iterable[str],
+    programs: Iterable[TransactionProgram],
+    n_sites: int,
+    rf: int = 1,
+    vnodes: int = DEFAULT_VNODES,
+    seed: int = 0,
+) -> View:
+    """Build the initial view for a workload (the dynamic counterpart of
+    :func:`~repro.distributed.partition.round_robin_partition`).
+
+    Transactions are homed at the primary site of the first entity they
+    lock (minimising remote traffic for prefix-local programs); lockless
+    programs are spread round-robin across sites.
+    """
+    if n_sites < 1:
+        raise ValueError("n_sites must be positive")
+    ring = HashRing(range(n_sites), vnodes=vnodes, seed=seed)
+    view = View(ring, entities, rf=rf, version=0)
+    lockless = 0
+    for program in programs:
+        lock_ops = program.lock_operations
+        if lock_ops:
+            view.assign_home(
+                program.txn_id,
+                view.site_of_entity(lock_ops[0][1].entity_name),
+            )
+        else:
+            view.assign_home(program.txn_id, lockless % n_sites)
+            lockless += 1
+    return view

@@ -69,6 +69,14 @@ class EventKind(enum.Enum):
     MESSAGE_DUPLICATE = "message.duplicate"
     MESSAGE_DELAY = "message.delay"
 
+    # -- distributed topology / replication ---------------------------------
+    SITE_FAILED = "site.failed"
+    SITE_RECOVERED = "site.recovered"
+    VIEW_CHANGE = "view.change"
+    REPLICA_CATCHUP = "replica.catchup"
+    PARTITION_START = "network.partition"
+    PARTITION_HEAL = "network.heal"
+
     # -- lock service -------------------------------------------------------
     SERVICE_REQUEST = "service.request"
     SERVICE_REPLY = "service.reply"

@@ -62,6 +62,7 @@ DISTRIBUTED_SAFE_CHECKS = (
     "no-commit-loss",
     "lock-table",
     "preemption-order",
+    "no-stale-read",
 )
 
 
@@ -141,7 +142,20 @@ def _build_scheduler(
     if partition is None:
         return Scheduler(database, strategy=strategy, policy=policy)
     from ..distributed.scheduler import DistributedScheduler
+    from ..distributed.views import View
 
+    if isinstance(partition, View):
+        from ..distributed.replication import ReplicatedScheduler
+
+        return ReplicatedScheduler(
+            database,
+            partition,
+            strategy=strategy,
+            policy=policy,
+            cross_site_mode=cross_site_mode,
+            wait_timeout=wait_timeout,
+            backoff_seed=backoff_seed,
+        )
     return DistributedScheduler(
         database,
         partition,
@@ -162,12 +176,14 @@ def chaos_run(
     plan: FaultPlan | None = None,
     crashes: int = 1,
     site_crashes: int = 0,
+    partitions: int = 0,
     message_faults: int = 0,
     storage_faults: int = 0,
     stalls: int = 0,
     degrade: bool = True,
     checkpoint_every: int = 25,
     sites: int = 0,
+    replicate: int = 0,
     cross_site_mode: str = "wound-wait",
     wait_timeout: int = 200,
     checks: str | list[str] = "all",
@@ -182,7 +198,11 @@ def chaos_run(
     fault-count knobs; pass an explicit plan to replay a known schedule
     (the crash sweep and the regression loader do).  ``sites > 0`` runs
     the distributed scheduler over a round-robin partition, exposing the
-    network and site-crash fault kinds.  ``instrument`` is called with
+    network, site-crash, and partition fault kinds; ``replicate >= 1``
+    upgrades to the replicated scheduler over a consistent-hash view
+    with that replication factor (available copies, read-one /
+    write-all-available, catch-up before rejoin).  ``instrument`` is
+    called with
     each segment's engine before it runs (first in the attach order, so
     an attached observability recorder's bus is live before the recovery
     manager copies it onto the WAL) — the recorder re-attaches across
@@ -199,13 +219,20 @@ def chaos_run(
             n_sites=sites,
             crashes=crashes,
             site_crashes=site_crashes,
+            partitions=partitions,
             message_faults=message_faults,
             storage_faults=storage_faults,
             stalls=stalls,
             degrade=degrade,
         )
     partition = None
-    if sites > 0:
+    if sites > 0 and replicate > 0:
+        from ..distributed.views import hash_view
+
+        partition = hash_view(
+            database.snapshot().keys(), programs, sites, rf=replicate
+        )
+    elif sites > 0:
         from ..distributed.partition import round_robin_partition
 
         partition = round_robin_partition(
@@ -348,6 +375,7 @@ def crash_recovery_sweep(
     checkpoint_every: int = 10,
     every: int = 1,
     sites: int = 0,
+    replicate: int = 0,
     cross_site_mode: str = "wound-wait",
     checks: str | list[str] = "all",
     max_steps: int = 200_000,
@@ -375,6 +403,7 @@ def crash_recovery_sweep(
             plan=FaultPlan(seed=chaos_seed, events=[]),
             checkpoint_every=checkpoint_every,
             sites=sites,
+            replicate=replicate,
             cross_site_mode=cross_site_mode,
             checks=checks,
             max_steps=max_steps,
@@ -399,6 +428,7 @@ def crash_recovery_sweep(
                 ),
                 checkpoint_every=checkpoint_every,
                 sites=sites,
+                replicate=replicate,
                 cross_site_mode=cross_site_mode,
                 checks=checks,
                 max_steps=max_steps,

@@ -60,6 +60,7 @@ class FaultKind(enum.Enum):
 
     CRASH = "crash"
     SITE_CRASH = "site-crash"
+    PARTITION = "partition"
     MESSAGE_DROP = "message-drop"
     MESSAGE_DUPLICATE = "message-duplicate"
     MESSAGE_DELAY = "message-delay"
@@ -83,8 +84,10 @@ class FaultEvent:
     trace-event index for crashes and stalls, attempted-send index for
     network faults, rollback-invocation index for storage faults.
     ``arg`` names the victim where one is needed (a transaction id for
-    stalls, a site number rendered as a string for site crashes) and
-    ``duration`` the outage length in recorded events.
+    stalls, a site number rendered as a string for site crashes, a group
+    spec such as ``"0,2|1,3"`` for partitions — groups separated by
+    ``|``, member sites by ``,``) and ``duration`` the outage length in
+    recorded events.
     """
 
     kind: FaultKind
@@ -136,6 +139,7 @@ class FaultPlan:
         n_sites: int = 0,
         crashes: int = 0,
         site_crashes: int = 0,
+        partitions: int = 0,
         message_faults: int = 0,
         storage_faults: int = 0,
         stalls: int = 0,
@@ -167,6 +171,29 @@ class FaultPlan:
                     rng.randrange(1, horizon),
                     arg=str(rng.randrange(n_sites)),
                     duration=rng.randrange(2, 12),
+                )
+            )
+        for _ in range(partitions):
+            if n_sites < 2:
+                break
+            # A random two-group split: each site joins group 0 or 1,
+            # re-drawn until both groups are inhabited.
+            while True:
+                split = [rng.randrange(2) for _ in range(n_sites)]
+                if 0 < sum(split) < n_sites:
+                    break
+            groups = [
+                ",".join(
+                    str(s) for s in range(n_sites) if split[s] == side
+                )
+                for side in (0, 1)
+            ]
+            events.append(
+                FaultEvent(
+                    FaultKind.PARTITION,
+                    rng.randrange(1, horizon),
+                    arg="|".join(groups),
+                    duration=rng.randrange(4, 20),
                 )
             )
         message_kinds = (
@@ -283,10 +310,16 @@ class FaultInjector:
         }
         self._stall_events = plan.of_kind(FaultKind.TXN_STALL)
         self._site_events = plan.of_kind(FaultKind.SITE_CRASH)
+        self._partition_events = plan.of_kind(FaultKind.PARTITION)
         #: txn_id -> recorded-event index at which the stall ends.
         self.stalled_until: dict[str, int] = {}
         #: site -> recorded-event index at which the site comes back up.
         self.down_until: dict[int, int] = {}
+        #: The active partition's groups (None when the network is whole).
+        self.partition_groups: list[set[int]] | None = None
+        #: Recorded-event index at which the active partition heals.
+        self._partition_until = -1
+        self._scheduler = None
 
     # -- attachment ---------------------------------------------------------
 
@@ -309,10 +342,30 @@ class FaultInjector:
 
         engine.on_step = observe
         wrapper = _StallAwareInterleaving(engine.interleaving, self)
-        partition = getattr(scheduler, "partition", None)
-        if partition is not None:
-            wrapper.bind_partition(partition)
+        if getattr(scheduler, "partition", None) is not None:
+            # Bind the *scheduler*, not its current partition object:
+            # view changes replace scheduler.partition mid-run and the
+            # wrapper must follow the live topology.
+            wrapper.bind_scheduler(scheduler)
         engine.interleaving = wrapper
+        self._scheduler = scheduler
+        self._sync_scheduler(scheduler)
+
+    def _sync_scheduler(self, scheduler) -> None:
+        """Replay standing outages onto a freshly attached scheduler.
+
+        After a crash the recovery loop builds a new scheduler; sites
+        still inside an outage window and a still-active partition must
+        be visible to it from its first step.
+        """
+        site_failed = getattr(scheduler, "site_failed", None)
+        if site_failed is not None:
+            for site in sorted(self.down_until):
+                site_failed(site)
+        if self.partition_groups is not None:
+            on_partition = getattr(scheduler, "on_partition", None)
+            if on_partition is not None:
+                on_partition(self.partition_groups)
 
     # -- interception points ---------------------------------------------------
 
@@ -322,18 +375,38 @@ class FaultInjector:
         scheduler crash itself."""
         index = self.events_seen
         self.events_seen += 1
+        scheduler = engine.scheduler
         for fault in self._stall_events:
             if fault.at == index:
                 self.stalled_until[fault.arg] = index + fault.duration
         for fault in self._site_events:
             if fault.at == index:
                 self.down_until[int(fault.arg)] = index + fault.duration
+                hook = getattr(scheduler, "site_failed", None)
+                if hook is not None:
+                    hook(int(fault.arg))
+        for fault in self._partition_events:
+            if fault.at == index:
+                self.partition_groups = _parse_groups(fault.arg)
+                self._partition_until = index + fault.duration
+                hook = getattr(scheduler, "on_partition", None)
+                if hook is not None:
+                    hook(self.partition_groups)
         for txn_id, until in list(self.stalled_until.items()):
             if until <= index:
                 del self.stalled_until[txn_id]
         for site, until in list(self.down_until.items()):
             if until <= index:
                 del self.down_until[site]
+                hook = getattr(scheduler, "site_recovered", None)
+                if hook is not None:
+                    hook(site)
+        if self.partition_groups is not None and self._partition_until <= index:
+            self.partition_groups = None
+            self._partition_until = -1
+            hook = getattr(scheduler, "on_heal", None)
+            if hook is not None:
+                hook()
         if (
             self._message_log is not None
             and self._message_log.pending_delayed
@@ -352,6 +425,10 @@ class FaultInjector:
         if (
             message.sender in self.down_until
             or message.receiver in self.down_until
+        ):
+            return DeliveryAction.DROP
+        if self.partition_groups is not None and not _same_group(
+            self.partition_groups, message.sender, message.receiver
         ):
             return DeliveryAction.DROP
         return self._message_actions.get(index, DeliveryAction.DELIVER)
@@ -392,6 +469,31 @@ class FaultInjector:
         return blocked
 
 
+def _parse_groups(arg: str) -> list[set[int]]:
+    """Parse a partition group spec such as ``"0,2|1,3"``."""
+    groups = [
+        {int(site) for site in part.split(",") if site != ""}
+        for part in arg.split("|")
+        if part != ""
+    ]
+    if len(groups) < 2:
+        raise ValueError(
+            f"partition spec {arg!r} must name at least two groups"
+        )
+    return groups
+
+
+def _same_group(groups: list[set[int]], a: int, b: int) -> bool:
+    """Whether two sites can talk under *groups* (sites not named in any
+    group are unreachable from everyone — they sit outside the spec)."""
+    if a == b:
+        return True
+    for group in groups:
+        if a in group:
+            return b in group
+    return False
+
+
 class _StallAwareInterleaving:
     """Wraps an interleaving policy to skip stalled transactions.
 
@@ -403,11 +505,18 @@ class _StallAwareInterleaving:
     def __init__(self, inner, injector: FaultInjector) -> None:
         self.inner = inner
         self.injector = injector
-        self.partition = None
+        self.scheduler = None
         self.name = f"stall-aware({inner.name})"
 
-    def bind_partition(self, partition) -> None:
-        self.partition = partition
+    def bind_scheduler(self, scheduler) -> None:
+        self.scheduler = scheduler
+
+    @property
+    def partition(self):
+        """The scheduler's *current* partition (view changes swap it)."""
+        if self.scheduler is None:
+            return None
+        return getattr(self.scheduler, "partition", None)
 
     def choose(self, runnable, step):
         blocked = self.injector.blocked_txns(self.partition)

@@ -40,6 +40,13 @@ Oracles and their provenance:
     metrics — within a bounded number of engine steps of admission.  A
     transaction still live past the bound, or a shed with no recorded
     reason, is starvation the admission machinery failed to prevent.
+``no-stale-read``
+    The available-copies safety contract
+    (:mod:`repro.distributed.replication`): every read a replicated
+    scheduler serves must come from a replica whose applied version
+    equals the entity's committed version at serve time — a recovering
+    or partitioned replica must finish catch-up before rejoining the
+    read set.  Silently inert on schedulers without a read log.
 ``graph-consistency``
     Differential contract of the incremental waits-for structure
     (:class:`~repro.graphs.incremental.IncrementalWaitsFor`): after every
@@ -365,6 +372,42 @@ class NoStarvationOracle(Oracle):
                 )
 
 
+class NoStaleReadOracle(Oracle):
+    """Available-copies safety: no read served by a lagging replica.
+
+    Replays the :class:`~repro.distributed.replication.ReplicatedScheduler`
+    read log incrementally (each record carries the serving replica's
+    applied version and the entity's committed version at serve time) and
+    fails on the first record where they differ — a replica answered a
+    read before finishing catch-up.  Schedulers without a ``read_log``
+    attribute are skipped, so the oracle is safe to request everywhere.
+    """
+
+    name = "no-stale-read"
+
+    def __init__(self) -> None:
+        self._records_seen = 0
+
+    def reset(self) -> None:
+        self._records_seen = 0
+
+    def check(self, scheduler: Scheduler, event: TraceEvent) -> None:
+        read_log = getattr(scheduler, "read_log", None)
+        if read_log is None:
+            return
+        for record in read_log[self._records_seen:]:
+            if record.applied != record.committed:
+                self._fail(
+                    f"stale read at step {event.step}: {record.txn_id} read "
+                    f"{record.entity!r} from site {record.site} at applied "
+                    f"version {record.applied} while the committed version "
+                    f"was {record.committed} — the replica rejoined the "
+                    f"read set before catch-up",
+                    event,
+                )
+        self._records_seen = len(read_log)
+
+
 class GraphConsistencyOracle(Oracle):
     """Incremental waits-for graph == from-scratch rebuild, every step.
 
@@ -432,6 +475,7 @@ _ORACLE_TYPES: dict[str, type[Oracle]] = {
     LockTableConsistencyOracle.name: LockTableConsistencyOracle,
     PreemptionOrderOracle.name: PreemptionOrderOracle,
     NoStarvationOracle.name: NoStarvationOracle,
+    NoStaleReadOracle.name: NoStaleReadOracle,
     GraphConsistencyOracle.name: GraphConsistencyOracle,
 }
 

@@ -32,8 +32,11 @@ FORMAT_VERSION = 1
 #: an admission-control comparison (see
 #: :class:`repro.admission.stress.OverloadRegression`); ``trace`` pins a
 #: recorded scenario's span timeline (see
-#: :class:`repro.observability.regression.TraceRegression`).
-CASE_KINDS = ("replay", "overload", "trace")
+#: :class:`repro.observability.regression.TraceRegression`);
+#: ``distributed`` pins a named partition/heal chaos scenario's verdict
+#: and fingerprint (see
+#: :class:`repro.distributed.scenarios.DistributedRegression`).
+CASE_KINDS = ("replay", "overload", "trace", "distributed")
 
 #: Expectation values: the oracle that must fire, or no violation at all.
 EXPECT_CLEAN = "clean"
@@ -85,6 +88,10 @@ def load_case(
         from ..observability.regression import load_trace_case
 
         return load_trace_case(str(path), document), expect
+    if kind == "distributed":
+        from ..distributed.scenarios import load_distributed_case
+
+        return load_distributed_case(str(path), document), expect
     if kind != "replay":
         raise ValueError(
             f"{path}: unknown case kind {kind!r} (expected one of "

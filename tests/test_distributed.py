@@ -43,10 +43,17 @@ class TestPartition:
         assert part.home_of("T1") == part.site_of_entity("b")
         assert part.home_of("T2") == part.site_of_entity("a")
 
-    def test_lockless_program_homes_at_zero(self):
-        programs = [TransactionProgram("T1", [ops.assign("x", 1)])]
+    def test_lockless_programs_home_round_robin(self):
+        # Lockless programs used to pile up at site 0 (hot-spot skew);
+        # they now spread round-robin while locking programs still follow
+        # their first lock.
+        programs = [
+            TransactionProgram(f"T{i}", [ops.assign("x", 1)])
+            for i in range(5)
+        ]
         part = round_robin_partition(["a"], programs, 3)
-        assert part.home_of("T1") == 0
+        homes = [part.home_of(f"T{i}") for i in range(5)]
+        assert homes == [0, 1, 2, 0, 1]
 
     def test_unknown_entity_rejected(self):
         part = Partition(1, {"a": 0}, {"T1": 0})

@@ -297,8 +297,10 @@ def test_metrics_summary_full_schema():
         "backoff_stalls", "restart_escalations", "admitted", "shed",
         "admission_queue_peak", "deadline_expiries", "deadline_partials",
         "deadline_restarts", "immunity_grants", "breaker_opens",
-        "breaker_rejections", "rollbacks_by_victim", "hottest_entities",
-        "mutual_preemption_pairs",
+        "breaker_rejections", "timeout_rollbacks", "unavailable_stalls",
+        "replica_catchups", "view_changes", "lock_migrations",
+        "view_rollbacks", "stale_write_skips", "rollbacks_by_victim",
+        "hottest_entities", "mutual_preemption_pairs",
     }
     assert set(summary) == expected
     victims = summary["rollbacks_by_victim"]
