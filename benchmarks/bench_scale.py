@@ -97,6 +97,80 @@ def scale_sweep(points=SWEEP):
     return [run_scale(n_txns, n_entities) for n_txns, n_entities in points]
 
 
+def run_telemetry(n_transactions, n_entities, seed=0):
+    """Streaming-aggregator overhead: the same workload twice, once with
+    the scheduler's default ``NULL_BUS`` (publishing short-circuits on
+    the hot path) and once with a live bus feeding a
+    :class:`~repro.observability.streaming.StreamingAggregator`.  The
+    delta is the full cost of live telemetry — event construction,
+    dispatch, and the bounded-memory fold."""
+    from repro.observability.events import EventBus
+    from repro.observability.streaming import StreamingAggregator
+
+    def timed_run(bus=None):
+        config = WorkloadConfig(
+            n_transactions=n_transactions,
+            n_entities=n_entities,
+            locks_per_txn=(2, 5),
+            write_ratio=0.8,
+            skew="uniform",
+        )
+        db, programs = generate_workload(config, seed=seed)
+        expected = expected_final_state(db, programs)
+        scheduler = Scheduler(
+            db, strategy="mcs", policy="ordered-min-cost"
+        )
+        aggregator = None
+        if bus is not None:
+            aggregator = StreamingAggregator()
+            bus.subscribe(aggregator)
+            scheduler.bus = bus
+        engine = SimulationEngine(
+            scheduler,
+            RandomInterleaving(rng=random.Random(seed + 1)),
+            max_steps=5_000_000,
+        )
+        for program in programs:
+            engine.add(program)
+        started = time.perf_counter()
+        result = engine.run()
+        elapsed = time.perf_counter() - started
+        assert result.final_state == expected
+        return result, aggregator, elapsed
+
+    # Best-of-3 on both sides: the small sweep points finish in
+    # milliseconds, so single-shot ratios would be scheduler-jitter
+    # noise rather than aggregator cost.
+    baseline_result, _, baseline = timed_run()
+    result, aggregator, instrumented = timed_run(EventBus())
+    for _ in range(2):
+        _, _, again = timed_run()
+        baseline = min(baseline, again)
+        _, _, again = timed_run(EventBus())
+        instrumented = min(instrumented, again)
+    # Telemetry must be an observer: identical trajectory either way.
+    assert result.steps == baseline_result.steps
+    overhead = instrumented / max(baseline, perfjson.MIN_ELAPSED) - 1.0
+    return {
+        "transactions": n_transactions,
+        "entities": n_entities,
+        "steps": result.steps,
+        "events": aggregator.events_seen,
+        "tracked_state": aggregator.tracked_state_size(),
+        "baseline_sec": round(baseline, 3),
+        "telemetry_sec": round(instrumented, 3),
+        "steps_per_sec": perfjson.rate(result.steps, instrumented),
+        "overhead_frac": round(overhead, 3),
+    }
+
+
+def telemetry_sweep(points=SWEEP):
+    return [
+        run_telemetry(n_txns, n_entities)
+        for n_txns, n_entities in points
+    ]
+
+
 def test_simulator_scale(benchmark):
     rows = benchmark.pedantic(scale_sweep, rounds=1, iterations=1)
     # Shape: throughput stays within an order of magnitude as the system
@@ -150,6 +224,12 @@ def main(argv=None) -> int:
         help=f"only the {len(SMOKE_SWEEP)} smallest sweep points",
     )
     parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="measure streaming-aggregator overhead instead of raw "
+             "throughput (writes/gates the telemetry_overhead section)",
+    )
+    parser.add_argument(
         "--compare",
         metavar="PATH",
         help="gate the measured rows against this committed trajectory",
@@ -173,7 +253,19 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     points = SMOKE_SWEEP if args.smoke else SWEEP
-    rows = scale_sweep(points)
+    # Telemetry mode defaults to its own trajectory section so the raw
+    # throughput rows and the overhead rows never gate against each
+    # other by accident.
+    section = args.section
+    compare_section = args.compare_section
+    if args.telemetry:
+        rows = telemetry_sweep(points)
+        if section == "current":
+            section = "telemetry_overhead"
+        if compare_section == "current":
+            compare_section = "telemetry_overhead"
+    else:
+        rows = scale_sweep(points)
     report(
         "bench_scale sweep",
         [
@@ -183,12 +275,12 @@ def main(argv=None) -> int:
     )
     if args.json:
         perfjson.update_section(
-            args.json, args.section, rows, recorded=args.recorded
+            args.json, section, rows, recorded=args.recorded
         )
-        print(f"wrote section {args.section!r} to {args.json}")
+        print(f"wrote section {section!r} to {args.json}")
     if args.compare:
         committed = perfjson.section_rows(
-            perfjson.load(args.compare), args.compare_section
+            perfjson.load(args.compare), compare_section
         )
         failures = perfjson.gate(rows, committed, tolerance=args.gate)
         if failures:
@@ -197,7 +289,7 @@ def main(argv=None) -> int:
             return 1
         print(
             f"perf gate OK: {len(rows)} row(s) within {args.gate:.0%} of "
-            f"{args.compare}:{args.compare_section}"
+            f"{args.compare}:{compare_section}"
         )
     return 0
 

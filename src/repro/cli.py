@@ -661,6 +661,33 @@ def cmd_trace(args) -> int:
         args.scenario, seed=args.seed, sample_every=args.sample_every
     )
     events = recorder.events
+    if args.txn:
+        from .observability.tracing import (
+            build_txn_trace,
+            render_txn_trace,
+            trace_ids,
+        )
+
+        txn_trace = build_txn_trace(events, args.txn)
+        if not txn_trace.entries:
+            known = ", ".join(trace_ids(events)) or "none"
+            print(
+                f"no events for transaction {args.txn!r} in scenario "
+                f"{args.scenario!r} (seed {args.seed}); known: {known}"
+            )
+            return 1
+        if args.format == "jsonl":
+            payload = (
+                json.dumps(txn_trace.to_obj(), sort_keys=True) + "\n"
+            )
+        else:
+            payload = render_txn_trace(txn_trace)
+        if args.out:
+            Path(args.out).write_text(payload)
+            print(f"wrote {args.out} ({len(txn_trace.entries)} entries)")
+        else:
+            sys.stdout.write(payload)
+        return 0
     if args.format == "jsonl":
         payload = to_jsonl(events)
     elif args.format == "chrome":
@@ -694,12 +721,79 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def _render_live_metrics(metrics: dict) -> str:
+    """Human rendering of one ``metrics`` verb snapshot."""
+    lines = [
+        f"server step          {metrics.get('step', 0)}",
+        f"events folded        {metrics.get('events', 0)}",
+        f"active/blocked       "
+        f"{metrics.get('active', 0)}/{metrics.get('blocked', 0)}",
+        f"commits/rollbacks    "
+        f"{metrics.get('commits', 0)}/{metrics.get('rollbacks', 0)}",
+        f"sheds/deadlocks      "
+        f"{metrics.get('sheds', 0)}/{metrics.get('deadlocks', 0)}",
+        f"states lost          {metrics.get('states_lost', 0)}",
+        f"block p50/p99        "
+        f"{metrics.get('block_p50', 0)}/{metrics.get('block_p99', 0)} "
+        f"steps",
+    ]
+    hot = ", ".join(
+        f"{entity}={count}"
+        for entity, count in metrics.get("hot_entities", [])
+    )
+    victims = ", ".join(
+        f"{txn}={count}"
+        for txn, count in metrics.get("rollback_victims", [])
+    )
+    lines.append(f"hot entities         {hot or '-'}")
+    lines.append(f"rollback victims     {victims or '-'}")
+    return "\n".join(lines)
+
+
+def _cmd_top_follow(args) -> int:
+    """Poll a running server's ``metrics`` verb and render it live."""
+    import json
+    import time as _time
+
+    from .service.client import ServiceClient
+
+    if not args.connect:
+        print("top --follow needs --connect HOST:PORT")
+        return 2
+    host, _, port = args.connect.rpartition(":")
+    try:
+        bound = int(port)
+    except ValueError:
+        print(f"bad --connect address {args.connect!r}")
+        return 2
+    iteration = 0
+    with ServiceClient(host or "127.0.0.1", bound, name="repro-top") as c:
+        while True:
+            iteration += 1
+            reply = c.metrics()
+            metrics = {
+                k: v
+                for k, v in reply.items()
+                if k not in ("rid", "ok", "verb", "code", "trace")
+            }
+            if args.json:
+                print(json.dumps(metrics, sort_keys=True))
+            else:
+                print(f"-- poll {iteration} --")
+                print(_render_live_metrics(metrics))
+            if args.iterations and iteration >= args.iterations:
+                return 0
+            _time.sleep(args.interval)
+
+
 def cmd_top(args) -> int:
     import json
 
     from .observability.scenarios import record_scenario
     from .observability.top import build_top, render_top
 
+    if args.follow or args.connect:
+        return _cmd_top_follow(args)
     recorder, _context = record_scenario(
         args.scenario, seed=args.seed, sample_every=args.sample_every
     )
@@ -762,6 +856,10 @@ def cmd_serve(args) -> int:
             port_file=args.port_file,
             tick_interval=args.tick_interval,
             drain_timeout=args.drain_timeout,
+            metrics_port=(
+                args.metrics_port if args.metrics else None
+            ),
+            metrics_port_file=args.metrics_port_file,
         )
     )
 
@@ -1044,6 +1142,10 @@ def build_parser() -> argparse.ArgumentParser:
                          default="jsonl",
                          help="jsonl event log, Chrome trace_event JSON, "
                               "or a human-readable summary")
+    p_trace.add_argument("--txn", default=None, metavar="TXN",
+                         help="drill into one transaction: render its "
+                              "stitched cross-site timeline (summary) "
+                              "or structured object (jsonl)")
     p_trace.add_argument("--out", default=None, metavar="FILE",
                          help="write the export to FILE instead of "
                               "stdout")
@@ -1073,6 +1175,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_top.add_argument("--sample-every", type=int, default=25)
     p_top.add_argument("--json", action="store_true",
                        help="machine-readable report on stdout")
+    p_top.add_argument("--follow", action="store_true",
+                       help="poll a running server's metrics verb "
+                            "instead of recording a scenario")
+    p_top.add_argument("--connect", default=None, metavar="HOST:PORT",
+                       help="server address for --follow")
+    p_top.add_argument("--interval", type=float, default=1.0,
+                       help="seconds between --follow polls")
+    p_top.add_argument("--iterations", type=int, default=0,
+                       help="stop --follow after N polls (0 = forever)")
     p_top.set_defaults(fn=cmd_top)
 
     p_serve = sub.add_parser(
@@ -1118,6 +1229,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="smoke: commits required per client")
     p_serve.add_argument("--kill-after", type=float, default=1.0,
                          help="smoke: seconds before the SIGKILL")
+    p_serve.add_argument("--metrics", action="store_true",
+                         help="also serve Prometheus text exposition "
+                              "on a second HTTP listener")
+    p_serve.add_argument("--metrics-port", type=int, default=0,
+                         help="metrics listener port (0 = ephemeral)")
+    p_serve.add_argument("--metrics-port-file", default=None,
+                         help="write the bound metrics port to this "
+                              "file")
     p_serve.set_defaults(fn=cmd_serve)
 
     p_lint = sub.add_parser(

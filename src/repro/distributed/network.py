@@ -58,13 +58,19 @@ class DeliveryAction(enum.Enum):
 
 @dataclass(frozen=True)
 class Message:
-    """One simulated message between two sites."""
+    """One simulated message between two sites.
+
+    ``lclock`` is the sender's Lamport clock at send time (0 when the
+    log predates clock stamping) — the causal substrate cross-site
+    tracing uses to order hops between sites.
+    """
 
     sender: int
     receiver: int
     kind: MessageType
     txn_id: str
     entity: str = ""
+    lclock: int = 0
 
 
 #: Fault filter signature: ``(send_index, message) -> DeliveryAction``.
@@ -94,6 +100,15 @@ class MessageLog:
     _delay_queue: list[Message] = field(default_factory=list)
     #: Observability bus (the recorder installs the scheduler's live bus).
     bus: EventBus = NULL_BUS
+    #: Per-site Lamport clocks: send ticks the sender, delivery merges
+    #: the receiver (``max(local, message) + 1``).  Purely a function of
+    #: the deterministic send order, so same-seed runs stamp the same
+    #: clocks — the cross-site tracing contract.
+    site_clocks: dict[int, int] = field(default_factory=dict)
+
+    def clock(self, site: int) -> int:
+        """The current Lamport clock of *site*."""
+        return self.site_clocks.get(site, 0)
 
     def send(
         self,
@@ -106,7 +121,9 @@ class MessageLog:
         """Record a message unless it stays within a single site."""
         if sender == receiver:
             return
-        message = Message(sender, receiver, kind, txn_id, entity)
+        lclock = self.site_clocks.get(sender, 0) + 1
+        self.site_clocks[sender] = lclock
+        message = Message(sender, receiver, kind, txn_id, entity, lclock)
         index = self.attempted
         self.attempted += 1
         action = (
@@ -139,11 +156,16 @@ class MessageLog:
                 receiver=message.receiver,
                 message=str(message.kind),
                 entity=message.entity,
+                lclock=message.lclock,
             )
 
     def _deliver(self, message: Message) -> None:
         self.messages.append(message)
         self.counts[message.kind] += 1
+        self.site_clocks[message.receiver] = (
+            max(self.site_clocks.get(message.receiver, 0), message.lclock)
+            + 1
+        )
 
     def flush_delayed(self, limit: int | None = None) -> int:
         """Deliver up to *limit* pending delayed messages (all by default).

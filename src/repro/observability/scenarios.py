@@ -27,6 +27,14 @@ Scenarios
     the starvation watchdog armed: the span timeline shows the immunity
     grant breaking the mutual preemption so the run commits instead of
     spinning.
+``distributed``
+    A five-site replicated deployment (rf=2, consistent-hash view) under
+    cross-site wound-wait — the ``repro chaos --sites 5 --replicate 2``
+    topology with a recorder attached.  Wounds cross site boundaries as
+    messages before the victim's partial rollback, so this is the seeded
+    reproduction behind ``repro trace distributed --txn <id>``:
+    a cross-site timeline whose rollback cause links name the
+    ``requester home -> victim home`` link that carried the wound.
 """
 
 from __future__ import annotations
@@ -36,7 +44,9 @@ from typing import Any
 from .recorder import RunRecorder
 
 #: Selectable scenario names, in documentation order.
-SCENARIOS: tuple[str, ...] = ("run", "chaos", "overload", "figure2-immunity")
+SCENARIOS: tuple[str, ...] = (
+    "run", "chaos", "overload", "figure2-immunity", "distributed",
+)
 
 
 def record_scenario(
@@ -56,6 +66,8 @@ def record_scenario(
         return _scenario_overload(seed, sample_every)
     if name == "figure2-immunity":
         return _scenario_figure2(seed, sample_every)
+    if name == "distributed":
+        return _scenario_distributed(seed, sample_every)
     raise ValueError(
         f"unknown scenario {name!r}; choose from {', '.join(SCENARIOS)}"
     )
@@ -164,6 +176,57 @@ def _scenario_overload(
         "immunity_grants": report.immunity_grants,
         "fingerprint": report.fingerprint(),
         "livelock": result.livelock_detected,
+    }
+
+
+def _scenario_distributed(
+    seed: int, sample_every: int
+) -> tuple[RunRecorder, dict[str, Any]]:
+    """Five sites, rf=2, cross-site wound-wait under a hot workload.
+
+    The shape mirrors ``repro chaos --sites 5 --replicate 2`` with the
+    recorder attached from the first step.  The workload is contended
+    enough that wounds routinely cross a site link before the victim's
+    partial rollback — the cross-site cause links ``repro trace
+    distributed --txn <id>`` renders.
+    """
+    from ..observability.tracing import build_txn_trace, trace_ids
+    from ..resilience.chaos import chaos_run
+    from ..simulation.workload import WorkloadConfig
+
+    recorder = RunRecorder(sample_every=sample_every)
+    outcome = chaos_run(
+        WorkloadConfig(
+            n_transactions=10,
+            n_entities=8,
+            locks_per_txn=(2, 4),
+            write_ratio=1.0,
+            skew="hotspot",
+        ),
+        workload_seed=seed,
+        chaos_seed=seed,
+        crashes=0,
+        sites=5,
+        replicate=2,
+        cross_site_mode="wound-wait",
+        instrument=recorder.attach,
+    )
+    cross_site_rollbacks = sum(
+        len(build_txn_trace(recorder.events, txn).cross_site_rollbacks())
+        for txn in trace_ids(recorder.events)
+    )
+    return recorder, {
+        "scenario": "distributed",
+        "seed": seed,
+        "steps": outcome.steps,
+        "sites": 5,
+        "replicate": 2,
+        "committed": sorted(outcome.committed),
+        "cross_site_rollbacks": cross_site_rollbacks,
+        "ok": outcome.ok,
+        "violation": (
+            None if outcome.violation is None else str(outcome.violation)
+        ),
     }
 
 

@@ -48,6 +48,8 @@ from ..core.transaction import TxnStatus
 from ..errors import ReproError, SimulationError
 from ..locking.modes import LockMode
 from ..observability.events import Event, EventBus, EventKind
+from ..observability.streaming import StreamingAggregator
+from ..observability.tracing import TraceContext, Tracer
 from ..resilience.wal import WriteAheadLog
 from ..storage.database import Database
 from . import protocol
@@ -98,6 +100,7 @@ _JOURNALED_FIELDS = (
     "value",
     "deadline",
     "idem",
+    "trace",
 )
 
 
@@ -152,7 +155,17 @@ class ServiceCore:
         self._dedup: "OrderedDict[str, dict]" = OrderedDict(dedup_seed or {})
         self._idem_in_flight: dict[str, Any] = {}
         self._shed_reason: dict[str, str] = {}
+        #: Causal tracing: merges client-carried trace contexts into a
+        #: process Lamport clock and stamps reply echoes.
+        self.tracer = Tracer(site=0)
+        self._pending_trace: TraceContext | None = None
+        #: Bounded-memory telemetry folded from this core's own event
+        #: stream — the ``metrics`` verb reads it live.  Subscribed
+        #: before the boot marker so live and replay fold identical
+        #: streams from the first event.
+        self.telemetry = StreamingAggregator()
         self.bus.subscribe(self._observe)
+        self.bus.subscribe(self.telemetry)
         # The boot marker: everything replay needs to reconstruct this
         # core — initial state, config, and (after a crash) the recovery
         # seeds.  Replay splits the journal into segments at these.
@@ -213,6 +226,16 @@ class ServiceCore:
                 if key != "txn" and request.get(key) is not None
             },
         )
+        # Merge the client's causal context; ``begin`` has no txn yet,
+        # so the context is parked for `_begin` to bind to the fresh id.
+        # Only live sessions are registered — anything else would let
+        # requests naming terminated transactions regrow a map `_reap`
+        # never revisits.
+        txn_field = str(request.get("txn", ""))
+        self._pending_trace = self.tracer.observe(
+            request.get("trace"),
+            txn_field if txn_field in self._sessions else "",
+        )
         idem = request.get("idem")
         reply: dict | None
         if idem is not None and idem in self._dedup:
@@ -253,6 +276,15 @@ class ServiceCore:
             return self._begin(rid, request)
         if verb == "status":
             return self._status(rid, request)
+        if verb == "metrics":
+            self._advance()
+            return ok_reply(rid, verb, **self.telemetry.metrics_obj())
+        if verb == "trace_status":
+            self._advance()
+            return ok_reply(
+                rid, verb,
+                **self.tracer.status(str(request.get("txn") or "")),
+            )
         txn_id = request.get("txn")
         session = self._sessions.get(txn_id) if txn_id else None
         if session is None:
@@ -313,6 +345,8 @@ class ServiceCore:
                 f"transactions already in flight",
             )
         self._sessions[txn_id] = program
+        if self._pending_trace is not None:
+            self.tracer.by_txn[txn_id] = self._pending_trace
         deadline = request.get("deadline")
         self.enforcer.watch(
             txn_id, self.now,
@@ -533,6 +567,11 @@ class ServiceCore:
 
     def _finalize(self, reply: dict, idem: Any) -> None:
         """Journal a reply and (for definitive outcomes) cache it."""
+        reply_txn = str(reply.get("txn", ""))
+        if reply_txn in self.tracer.by_txn and "trace" not in reply:
+            # Echo the transaction's causal context so the client can
+            # merge the server's Lamport clock into its own.
+            reply["trace"] = self.tracer.stamp(reply_txn)
         self.bus.publish(
             EventKind.SERVICE_REPLY,
             str(reply.get("txn", "")),
@@ -579,6 +618,7 @@ class ServiceCore:
             self.scheduler._copies_cache.pop(txn_id, None)
             self.admission.admitted_at.pop(txn_id, None)
             self._shed_reason.pop(txn_id, None)
+            self.tracer.forget(txn_id)
 
     # -- drain ---------------------------------------------------------------
 

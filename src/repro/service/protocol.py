@@ -40,6 +40,8 @@ VERBS = (
     "commit",
     "abort",
     "status",
+    "metrics",
+    "trace_status",
     "tick",
 )
 

@@ -32,6 +32,7 @@ from typing import Any
 
 from ..observability.events import Event, EventBus, EventKind
 from ..observability.export import JsonlStreamSink, read_events_jsonl
+from ..observability.streaming import render_prometheus
 from ..storage.database import Database
 from . import protocol
 from .core import ServiceConfig, ServiceCore
@@ -150,7 +151,9 @@ class LockServer:
         self.tick_interval = tick_interval
         self.drain_timeout = drain_timeout
         self.port: int | None = None
+        self.metrics_port: int | None = None
         self._server: asyncio.base_events.Server | None = None
+        self._metrics_server: asyncio.base_events.Server | None = None
         self._waiters: dict[Any, asyncio.StreamWriter] = {}
         self._stopping = asyncio.Event()
         self._tick_counter = 0
@@ -170,6 +173,23 @@ class LockServer:
             self._ticker()
         )
         return self.port
+
+    async def start_metrics(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> int:
+        """Bind the Prometheus exposition listener; returns its port.
+
+        A second, read-only HTTP endpoint serving the core's streaming
+        telemetry in Prometheus text format — scraping never touches
+        the lock protocol, the journal, or logical time.
+        """
+        self._metrics_server = await asyncio.start_server(
+            self._serve_metrics, host, port
+        )
+        self.metrics_port = (
+            self._metrics_server.sockets[0].getsockname()[1]
+        )
+        return self.metrics_port
 
     def install_signal_handlers(self) -> None:
         """SIGTERM/SIGINT start a graceful drain."""
@@ -201,6 +221,9 @@ class LockServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
         if self.sink is not None:
             self.sink.close()
         wal = self.core.wal
@@ -261,6 +284,45 @@ class LockServer:
                     del self._waiters[rid]
             writer.close()
 
+    async def _serve_metrics(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """One-shot HTTP/1.0-style exchange: request in, exposition out."""
+        try:
+            request_line = await reader.readline()
+            while True:
+                header = await reader.readline()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            parts = request_line.decode("latin-1", "replace").split()
+            path = parts[1] if len(parts) > 1 else "/"
+            if path.split("?", 1)[0] in ("/metrics", "/"):
+                body = render_prometheus(
+                    self.core.telemetry.metrics_obj()
+                ).encode("utf-8")
+                status = "200 OK"
+            else:
+                body = b"not found\n"
+                status = "404 Not Found"
+            writer.write(
+                (
+                    f"HTTP/1.1 {status}\r\n"
+                    "Content-Type: text/plain; version=0.0.4; "
+                    "charset=utf-8\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Connection: close\r\n"
+                    "\r\n"
+                ).encode("latin-1")
+                + body
+            )
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # scraper vanished mid-exchange
+        finally:
+            writer.close()
+
     async def _ticker(self) -> None:
         """Advance logical time while replies are parked.
 
@@ -289,6 +351,8 @@ async def serve(
     port_file: str | None = None,
     tick_interval: float = 0.05,
     drain_timeout: float = 10.0,
+    metrics_port: int | None = None,
+    metrics_port_file: str | None = None,
 ) -> int:
     """Run a lock server until drained (the ``repro serve`` body)."""
     core, sink = build_core(
@@ -305,6 +369,14 @@ async def serve(
     if port_file:
         Path(port_file).write_text(f"{bound}\n")
     print(f"repro-serve listening on {host}:{bound}", flush=True)
+    if metrics_port is not None:
+        bound_metrics = await server.start_metrics(host, metrics_port)
+        if metrics_port_file:
+            Path(metrics_port_file).write_text(f"{bound_metrics}\n")
+        print(
+            f"repro-serve metrics on http://{host}:{bound_metrics}/metrics",
+            flush=True,
+        )
     await server.wait_closed()
     print("repro-serve drained and stopped", flush=True)
     return 0

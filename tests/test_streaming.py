@@ -1,0 +1,277 @@
+"""Differential and bounded-memory tests for the streaming telemetry.
+
+The contract under test (see ``docs/OBSERVABILITY.md``):
+
+* :class:`~repro.observability.streaming.StreamingAggregator` folded
+  over any event stream produces **byte-identical** JSON to
+  :func:`~repro.observability.streaming.batch_reference` (which routes
+  ``build_timeseries`` output through the same log-histogram), checked
+  on the named scenarios and on hypothesis-generated streams;
+* its tracked state is bounded by the live population (windows
+  excluded), independent of how many events flow through — checked on a
+  million-event synthetic run;
+* the sketches are exact in their exact regime: the log histogram's
+  quantile matches the nearest-rank percentile over bucket upper
+  bounds, and space-saving counts are exact while distinct keys fit.
+"""
+
+import json
+
+import pytest
+
+from repro.observability.events import Event, EventKind
+from repro.observability.streaming import (
+    LogHistogram,
+    SpaceSavingTopK,
+    StreamingAggregator,
+    batch_reference,
+    render_prometheus,
+)
+from repro.observability.timeseries import percentile
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+
+def fold(events, window_steps=50):
+    aggregator = StreamingAggregator(window_steps=window_steps)
+    for event in events:
+        aggregator(event)
+    return aggregator
+
+
+def assert_identical(events, window_steps=50):
+    streamed = fold(events, window_steps).timeseries_obj()
+    batch = batch_reference(events, window_steps=window_steps)
+    assert json.dumps(streamed, sort_keys=True) == json.dumps(
+        batch, sort_keys=True
+    )
+
+
+# ---------------------------------------------------------------------------
+# The sketches in their exact regime
+# ---------------------------------------------------------------------------
+
+
+class TestLogHistogram:
+    def test_bucketing(self):
+        histogram = LogHistogram()
+        for value in (0, 1, 2, 3, 4, 7, 8, 1023, 1024):
+            histogram.add(value)
+        # 0 -> bucket 0; [2^(b-1), 2^b - 1] -> bucket b.
+        assert histogram.buckets == {
+            0: 1, 1: 1, 2: 2, 3: 2, 4: 1, 10: 1, 11: 1,
+        }
+        assert histogram.count == 9
+
+    def test_quantile_matches_nearest_rank_on_upper_bounds(self):
+        # Replacing every value by its bucket upper bound, the histogram
+        # quantile IS the nearest-rank percentile — the exactness the
+        # batch/streaming equivalence relies on.
+        values = [0, 1, 1, 2, 3, 5, 9, 17, 170, 1000]
+        histogram = LogHistogram.from_values(values)
+        rounded = sorted(
+            LogHistogram.upper_bound(
+                v.bit_length() if v > 0 else 0
+            )
+            for v in values
+        )
+        for fraction in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0):
+            assert histogram.quantile(fraction) == percentile(
+                rounded, fraction
+            )
+
+    def test_empty(self):
+        assert LogHistogram().quantile(0.99) == 0
+
+    def test_copy_is_independent(self):
+        histogram = LogHistogram.from_values([1, 2, 3])
+        clone = histogram.copy()
+        clone.add(100)
+        assert histogram.count == 3 and clone.count == 4
+
+
+class TestSpaceSavingTopK:
+    def test_exact_within_capacity(self):
+        sketch = SpaceSavingTopK(capacity=4)
+        for key in "aabbbcdddd":
+            sketch.add(key)
+        assert sketch.exact
+        assert sketch.top() == [("d", 4), ("b", 3), ("a", 2), ("c", 1)]
+
+    def test_eviction_is_deterministic_and_bounded(self):
+        sketch = SpaceSavingTopK(capacity=2)
+        for key in ("a", "a", "b", "c"):
+            sketch.add(key)
+        # "b" (count 1) is the unique minimum and is evicted; "c"
+        # inherits its floor.
+        assert set(sketch.counts) == {"a", "c"}
+        assert sketch.counts["c"] == 2 and sketch.errors["c"] == 1
+        assert not sketch.exact
+        assert len(sketch.counts) <= 2
+
+    def test_heavy_hitter_survives_noise(self):
+        sketch = SpaceSavingTopK(capacity=4)
+        for i in range(100):
+            sketch.add("hot")
+            sketch.add(f"noise{i}")
+        assert sketch.top(1)[0][0] == "hot"
+
+
+# ---------------------------------------------------------------------------
+# Differential: streaming == batch, byte for byte
+# ---------------------------------------------------------------------------
+
+_SCENARIO_SEEDS = [("run", 0), ("chaos", 1), ("overload", 2),
+                   ("figure2-immunity", 0), ("distributed", 0)]
+
+
+@pytest.mark.parametrize("scenario,seed", _SCENARIO_SEEDS)
+def test_scenarios_fold_identically(scenario, seed):
+    from repro.observability.scenarios import record_scenario
+
+    recorder, _ = record_scenario(scenario, seed=seed)
+    assert_identical(recorder.events)
+    assert_identical(recorder.events, window_steps=7)
+
+
+_KINDS = (
+    EventKind.TXN_ADMIT,
+    EventKind.STEP,
+    EventKind.TXN_COMMIT,
+    EventKind.TXN_SHED,
+    EventKind.LOCK_BLOCK,
+    EventKind.LOCK_GRANT,
+    EventKind.ROLLBACK,
+    EventKind.SAMPLE,
+    EventKind.DEADLOCK,
+    EventKind.MESSAGE_SEND,
+)
+
+
+@st.composite
+def event_streams(draw):
+    """Arbitrary-ish streams: monotone steps, small txn/entity pools."""
+    n = draw(st.integers(min_value=0, max_value=120))
+    step = 0
+    events = []
+    for seq in range(n):
+        step += draw(st.integers(min_value=0, max_value=40))
+        kind = draw(st.sampled_from(_KINDS))
+        txn = draw(st.sampled_from(["", "T1", "T2", "T3", "T4"]))
+        data = {}
+        if kind is EventKind.ROLLBACK:
+            data["states_lost"] = draw(
+                st.integers(min_value=0, max_value=9)
+            )
+        elif kind is EventKind.SAMPLE:
+            data["wf_edges"] = draw(st.integers(min_value=0, max_value=9))
+        elif kind is EventKind.LOCK_BLOCK:
+            data["entity"] = draw(st.sampled_from(["e0", "e1", "e2"]))
+        elif kind is EventKind.MESSAGE_SEND:
+            data["sender"] = draw(st.integers(min_value=0, max_value=3))
+            data["receiver"] = draw(st.integers(min_value=0, max_value=3))
+        events.append(Event(seq=seq, step=step, kind=kind, txn=txn,
+                            data=data))
+    return events
+
+
+@given(events=event_streams(),
+       window_steps=st.integers(min_value=1, max_value=60))
+@settings(max_examples=150, deadline=None)
+def test_streaming_equals_batch_on_random_streams(events, window_steps):
+    assert_identical(events, window_steps=window_steps)
+
+
+def test_snapshot_is_non_destructive():
+    from repro.observability.scenarios import record_scenario
+
+    recorder, _ = record_scenario("run", seed=0)
+    events = recorder.events
+    aggregator = StreamingAggregator()
+    mid = len(events) // 2
+    for event in events[:mid]:
+        aggregator(event)
+    aggregator.timeseries_obj()  # live read mid-stream
+    aggregator.metrics_obj()
+    for event in events[mid:]:
+        aggregator(event)
+    assert json.dumps(
+        aggregator.timeseries_obj(), sort_keys=True
+    ) == json.dumps(batch_reference(events), sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# Bounded memory on a million-event run
+# ---------------------------------------------------------------------------
+
+
+def _synthetic_stream(n_events, txns=8, entities=6):
+    """A cheap deterministic block/grant/rollback churn: a fixed
+    transaction population active for the whole run."""
+    seq = 0
+    for i in range(n_events):
+        step = i // 2
+        txn = f"T{i % txns}"
+        phase = i % 6
+        if phase == 0:
+            kind, data = EventKind.STEP, {}
+        elif phase == 1:
+            kind = EventKind.LOCK_BLOCK
+            data = {"entity": f"e{i % entities}"}
+        elif phase == 2:
+            kind, data = EventKind.LOCK_GRANT, {}
+        elif phase == 3:
+            kind = EventKind.ROLLBACK
+            data = {"states_lost": i % 4}
+        elif phase == 4:
+            kind = EventKind.MESSAGE_SEND
+            data = {"sender": i % 5, "receiver": (i + 1) % 5}
+        else:
+            kind, data = EventKind.SAMPLE, {"wf_edges": i % 7}
+        yield Event(seq=seq, step=step, kind=kind, txn=txn, data=data)
+        seq += 1
+
+
+def test_million_event_run_stays_bounded():
+    aggregator = StreamingAggregator()
+    checkpoint = None
+    for i, event in enumerate(_synthetic_stream(1_000_000)):
+        aggregator(event)
+        if i == 99_999:
+            checkpoint = aggregator.tracked_state_size()
+    final = aggregator.tracked_state_size()
+    assert aggregator.events_seen == 1_000_000
+    # Tracked state after 10^6 events equals tracked state after 10^5:
+    # it depends on the population (txns, entities, sites, buckets,
+    # top-K capacity), not on the event count.
+    assert final == checkpoint
+    assert final < 100
+    # The only O(run-length) artifact is the window list itself: the
+    # last step is 499_999, so 9_999 windows have closed (the one in
+    # flight only materializes in snapshots).
+    assert len(aggregator.windows) == 9_999
+
+
+# ---------------------------------------------------------------------------
+# Prometheus exposition
+# ---------------------------------------------------------------------------
+
+
+def test_render_prometheus_is_deterministic_and_complete():
+    from repro.observability.scenarios import record_scenario
+
+    recorder, _ = record_scenario("distributed", seed=0)
+    aggregator = fold(recorder.events)
+    metrics = aggregator.metrics_obj()
+    first = render_prometheus(metrics)
+    second = render_prometheus(fold(recorder.events).metrics_obj())
+    assert first == second
+    assert f"repro_commits_total {aggregator.commits}" in first
+    assert f"repro_rollbacks_total {aggregator.rollbacks}" in first
+    assert 'repro_block_steps_bucket{le="+Inf"}' in first
+    assert 'repro_site_up{site="0"} 1' in first
+    # Cumulative bucket counts end at the histogram total.
+    total = metrics["block_histogram"]["count"]
+    assert f'le="+Inf"}} {total}' in first

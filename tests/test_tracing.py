@@ -1,0 +1,270 @@
+"""Causal-trace propagation and cross-site stitching tests.
+
+Covers the three layers of the tracing story (``docs/OBSERVABILITY.md``):
+the wire-level :class:`TraceContext`/:class:`Tracer` pair (Lamport
+merging, deterministic echoes), the Lamport clocks the distributed
+message log stamps on every send, and :func:`build_txn_trace` stitching
+a recorded distributed run into one cross-site timeline whose rollback
+cause links name the site boundary the wound crossed.
+"""
+
+import json
+
+from repro.distributed.network import MessageLog, MessageType
+from repro.observability.events import Event, EventKind
+from repro.observability.streaming import render_prometheus
+from repro.observability.tracing import (
+    TraceContext,
+    Tracer,
+    build_txn_trace,
+    infer_home_sites,
+    render_txn_trace,
+    trace_ids,
+)
+from repro.service.core import ServiceCore
+from repro.storage.database import Database
+
+
+# ---------------------------------------------------------------------------
+# TraceContext / Tracer
+# ---------------------------------------------------------------------------
+
+
+class TestTraceContext:
+    def test_roundtrip(self):
+        context = TraceContext(
+            trace_id="c.1", span="c.1.0", parent="", site=-1, clock=3
+        )
+        assert TraceContext.from_obj(context.to_obj()) == context
+
+    def test_from_obj_tolerates_garbage(self):
+        assert TraceContext.from_obj({}) is None
+        assert TraceContext.from_obj({"id": ""}) is None
+        assert TraceContext.from_obj({"id": 7}) is None
+        salvaged = TraceContext.from_obj(
+            {"id": "t", "clock": "x", "site": None}
+        )
+        assert salvaged == TraceContext(trace_id="t")
+
+    def test_child_links_and_ticks(self):
+        root = TraceContext(trace_id="t", span="a", clock=5)
+        child = root.child("b", site=2)
+        assert child.parent == "a" and child.span == "b"
+        assert child.clock == 6 and child.site == 2
+
+    def test_merged_is_lamport_receive(self):
+        context = TraceContext(trace_id="t", clock=5)
+        assert context.merged(9).clock == 10
+        assert context.merged(2).clock == 6
+
+
+class TestTracer:
+    def test_observe_merges_and_registers(self):
+        tracer = Tracer(site=3)
+        seen = tracer.observe(
+            {"id": "c.1", "span": "c.1.0", "clock": 7}, txn="T1"
+        )
+        assert seen is not None and seen.site == 3 and seen.clock == 8
+        assert tracer.by_txn["T1"].trace_id == "c.1"
+        assert tracer.observe("garbage", txn="T2") is None
+        assert "T2" not in tracer.by_txn
+
+    def test_stamp_and_forget(self):
+        tracer = Tracer()
+        tracer.observe({"id": "c.1", "span": "s", "clock": 1}, txn="T1")
+        stamp = tracer.stamp("T1")
+        assert stamp["id"] == "c.1" and stamp["clock"] == tracer.clock
+        tracer.forget("T1")
+        assert "id" not in tracer.stamp("T1")
+        assert tracer.status("T1")["known"] is False
+
+
+def test_message_log_stamps_lamport_clocks():
+    log = MessageLog()
+    log.send(0, 1, MessageType.LOCK_REQUEST, "T1", "e0")
+    log.send(1, 2, MessageType.WOUND, "T2")
+    assert [m.lclock for m in log.messages] == [1, 3]
+    # Send ticks the sender; delivery merges the receiver past it.
+    assert log.clock(0) == 1
+    assert log.clock(1) == 3  # merged to 2 by delivery, ticked to 3
+    assert log.clock(2) == 4
+    log.send(0, 0, MessageType.UNLOCK, "T1")  # local: not stamped
+    assert log.clock(0) == 1
+
+
+# ---------------------------------------------------------------------------
+# Stitching a recorded distributed run
+# ---------------------------------------------------------------------------
+
+
+def _message(seq, step, txn, payload, sender, receiver):
+    return Event(
+        seq=seq, step=step, kind=EventKind.MESSAGE_SEND, txn=txn,
+        data={"message": payload, "sender": sender, "receiver": receiver},
+    )
+
+
+def test_infer_home_sites_direction_rules():
+    events = [
+        _message(0, 0, "T1", "lock-request", 2, 0),  # sender-homed
+        _message(1, 0, "T2", "wound", 0, 4),         # receiver-homed
+        _message(2, 1, "T1", "wound", 3, 9),         # first wins
+    ]
+    assert infer_home_sites(events) == {"T1": 2, "T2": 4}
+
+
+def test_cross_site_rollback_cause_link():
+    events = [
+        _message(0, 0, "T1", "lock-request", 1, 0),
+        _message(1, 5, "T1", "wound", 4, 1),
+        Event(seq=2, step=5, kind=EventKind.ROLLBACK, txn="T1",
+              data={"requester": "T9", "target": 2, "states_lost": 3}),
+        Event(seq=3, step=9, kind=EventKind.TXN_COMMIT, txn="T1",
+              data={}),
+    ]
+    trace = build_txn_trace(events, "T1")
+    rollback = [e for e in trace.entries if e.kind == "rollback"][0]
+    assert rollback.cause_seq == 1
+    assert (rollback.site, rollback.to_site) == (4, 1)
+    assert trace.cross_site_rollbacks() == [rollback]
+    assert trace.outcome == "committed"
+    rendering = render_txn_trace(trace)
+    assert "wound crossed site 4 -> site 1" in rendering
+    assert "<- seq 1" in rendering
+
+
+def test_distributed_scenario_has_cross_site_rollback_timeline():
+    from repro.observability.scenarios import record_scenario
+
+    recorder, context = record_scenario("distributed", seed=0)
+    assert context["cross_site_rollbacks"] > 0
+    crossing = [
+        txn
+        for txn in trace_ids(recorder.events)
+        if build_txn_trace(recorder.events, txn).cross_site_rollbacks()
+    ]
+    assert crossing  # at least one victim wounded across a site link
+    trace = build_txn_trace(recorder.events, crossing[0])
+    rollback = trace.cross_site_rollbacks()[0]
+    # The cause link resolves back to the wound message that crossed
+    # the boundary, and the rendering shows it end to end.
+    cause = next(
+        e for e in recorder.events if e.seq == rollback.cause_seq
+    )
+    assert cause.kind is EventKind.MESSAGE_SEND
+    assert cause.data["message"] == "wound"
+    assert cause.data["sender"] != cause.data["receiver"]
+    rendering = render_txn_trace(trace)
+    assert "wound crossed site" in rendering
+    assert f"<- seq {rollback.cause_seq}" in rendering
+
+
+def test_txn_trace_is_same_seed_stable():
+    from repro.observability.scenarios import record_scenario
+
+    first, _ = record_scenario("distributed", seed=3)
+    second, _ = record_scenario("distributed", seed=3)
+    for txn in trace_ids(first.events)[:3]:
+        a = build_txn_trace(first.events, txn).to_obj()
+        b = build_txn_trace(second.events, txn).to_obj()
+        assert json.dumps(a, sort_keys=True) == json.dumps(
+            b, sort_keys=True
+        )
+
+
+# ---------------------------------------------------------------------------
+# Service integration: propagation, verbs, determinism
+# ---------------------------------------------------------------------------
+
+
+def _trace(trace_id, span, clock, parent=""):
+    return {"id": trace_id, "span": span, "parent": parent,
+            "site": -1, "clock": clock}
+
+
+def _script():
+    """One traced transaction's request sequence (client's eye view)."""
+    return [
+        {"rid": "c.1.0", "verb": "begin",
+         "trace": _trace("c.1", "c.1.0", 1)},
+        {"rid": "c.2.0", "verb": "lock", "txn": "T1", "entity": "e000",
+         "trace": _trace("c.1", "c.2.0", 3)},
+        {"rid": "c.3.0", "verb": "write", "txn": "T1", "entity": "e000",
+         "value": 7, "trace": _trace("c.1", "c.3.0", 5)},
+        {"rid": "c.4.0", "verb": "trace_status", "txn": "T1",
+         "trace": _trace("c.1", "c.4.0", 7)},
+        {"rid": "c.5.0", "verb": "commit", "txn": "T1",
+         "trace": _trace("c.1", "c.5.0", 9)},
+        {"rid": "c.6.0", "verb": "metrics",
+         "trace": _trace("c.6", "c.6.0", 11)},
+        {"rid": "c.7.0", "verb": "trace_status", "txn": "T1",
+         "trace": _trace("c.7", "c.7.0", 13)},
+    ]
+
+
+def _drive(core, requests):
+    replies = []
+    for request in requests:
+        reply, completions = core.handle(dict(request))
+        if reply is not None:
+            replies.append(reply)
+        replies.extend(done for _, done in completions)
+    return replies
+
+
+def _core():
+    return ServiceCore(Database({"e000": 0, "e001": 0}))
+
+
+def test_service_trace_lifecycle():
+    replies = {r["rid"]: r for r in _drive(_core(), _script())}
+    begin = replies["c.1.0"]
+    # The begin binds the incoming context to the fresh transaction and
+    # echoes it back with the server's merged clock.
+    assert begin["txn"] == "T1"
+    assert begin["trace"]["id"] == "c.1"
+    assert begin["trace"]["site"] == 0
+    assert replies["c.2.0"]["trace"]["id"] == "c.1"
+    # While live, trace_status knows the transaction and its trace.
+    live = replies["c.4.0"]
+    assert live["known"] is True and live["trace"]["id"] == "c.1"
+    assert replies["c.5.0"].get("committed") is True
+    # After the terminal reply the session is reaped: the tracer entry
+    # goes with it (service-lifetime boundedness).
+    post = replies["c.7.0"]
+    assert post["known"] is False and post["trace"] is None
+
+
+def test_service_metrics_verb_reads_live_telemetry():
+    core = _core()
+    replies = {r["rid"]: r for r in _drive(core, _script())}
+    metrics = replies["c.6.0"]
+    assert metrics["ok"] and metrics["verb"] == "metrics"
+    assert metrics["commits"] == 1
+    assert metrics["events"] > 0
+    assert "block_histogram" in metrics
+    # The verb reads the same aggregator Prometheus exposition renders.
+    exposition = render_prometheus(core.telemetry.metrics_obj())
+    assert "repro_commits_total 1" in exposition
+
+
+def test_service_replies_are_same_seed_deterministic():
+    script = _script()
+    first = _drive(_core(), script)
+    second = _drive(_core(), script)
+    assert json.dumps(first, sort_keys=True) == json.dumps(
+        second, sort_keys=True
+    )
+    # Trace echoes included: the tracer is a pure function of the
+    # request order, the determinism contract replay relies on.
+    assert any("trace" in reply for reply in first)
+
+
+def test_service_untraced_requests_still_work():
+    core = _core()
+    replies = _drive(core, [
+        {"rid": "r1", "verb": "begin"},
+        {"rid": "r2", "verb": "status"},
+    ])
+    assert all(reply["ok"] for reply in replies)
+    assert all("trace" not in reply for reply in replies)
